@@ -1,0 +1,78 @@
+"""Ablation A4: real wall-clock speedup of the data-parallel kernels.
+
+The cost models assume FAST and search-local-points parallelize well.
+This bench demonstrates it on real arrays: our scalar reference loops
+(the sequential CPU formulation) versus the vectorized whole-array
+formulation (how the CUDA kernels are organized).  The numpy speedup is
+a *lower bound* on GPU gains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import time_fast_kernels, time_search_kernels
+from repro.vision import render_frame
+from repro.datasets import euroc_dataset
+from repro.vision.fast import detect_fast_scalar, detect_fast_vectorized
+from repro.vision.matching import (
+    search_by_projection_scalar,
+    search_by_projection_vectorized,
+)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    ds = euroc_dataset("MH04", duration=1.0, rate=10.0)
+    return render_frame(
+        ds.world.positions, ds.world.ids, ds.camera, ds.pose_cw(0),
+        rng=np.random.default_rng(0),
+    ).pixels
+
+
+def test_ablation_fast_scalar(frame, benchmark):
+    benchmark.pedantic(
+        lambda: detect_fast_scalar(frame[:120, :160], 20), rounds=2, iterations=1
+    )
+
+
+def test_ablation_fast_vectorized(frame, benchmark):
+    benchmark.pedantic(
+        lambda: detect_fast_vectorized(frame[:120, :160], 20),
+        rounds=5, iterations=1,
+    )
+
+
+def test_ablation_search_scalar(benchmark):
+    rng = np.random.default_rng(1)
+    proj = rng.uniform(0, 320, (300, 2))
+    uv = rng.uniform(0, 320, (250, 2))
+    pd = rng.integers(0, 256, (300, 32), dtype=np.uint8)
+    fd = rng.integers(0, 256, (250, 32), dtype=np.uint8)
+    benchmark.pedantic(
+        lambda: search_by_projection_scalar(proj, pd, uv, fd, radius=30.0),
+        rounds=2, iterations=1,
+    )
+
+
+def test_ablation_search_vectorized(benchmark):
+    rng = np.random.default_rng(1)
+    proj = rng.uniform(0, 320, (300, 2))
+    uv = rng.uniform(0, 320, (250, 2))
+    pd = rng.integers(0, 256, (300, 32), dtype=np.uint8)
+    fd = rng.integers(0, 256, (250, 32), dtype=np.uint8)
+    benchmark.pedantic(
+        lambda: search_by_projection_vectorized(proj, pd, uv, fd, radius=30.0),
+        rounds=5, iterations=1,
+    )
+
+
+def test_ablation_kernel_speedups_summary(frame, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fast = time_fast_kernels(frame[:120, :160], repeats=2)
+    search = time_search_kernels(n_points=300, n_features=250, repeats=2)
+    print("\nAblation A4 — scalar vs data-parallel kernels (wall-clock)")
+    for t in (fast, search):
+        print(f"  {t.name:<24} {t.scalar_s * 1e3:8.2f} ms -> "
+              f"{t.vectorized_s * 1e3:8.2f} ms  ({t.speedup:5.1f}x)")
+    assert fast.speedup > 3.0
+    assert search.speedup > 1.5

@@ -1,0 +1,72 @@
+"""Fig. 10a/b: cumulative global-map ATE as three EuRoC clients merge.
+
+Paper: client A builds the global map; when B (then C) joins, the
+pooled ATE spikes (55 cm / 15 cm — fragments in private frames), then
+collapses (~1 cm) the moment the merge lands, and stays flat (~6.5 cm)
+for the rest of the session.  We print the live series and the merge
+events from the shared three-client session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import absolute_trajectory_error
+
+
+def test_fig10a_live_global_ate(euroc_session_result, benchmark):
+    result = benchmark.pedantic(
+        lambda: euroc_session_result, rounds=1, iterations=1
+    )
+    series = result.live_global_ate
+    merges = sorted(result.merges, key=lambda m: m.session_time)
+    assert len(merges) >= 1
+
+    print("\nFig. 10a — live global-map ATE (3 clients, EuRoC-like)")
+    merge_times = {round(m.session_time, 1): m.client_id for m in merges}
+    for t, v in series:
+        marker = ""
+        for mt, cid in merge_times.items():
+            if abs(t - mt) <= 0.25:
+                marker = f"   <= client {cid} merged ({merges[0].merge_ms:.0f} ms)"
+        print(f"  t={t:6.2f} s   ATE={v * 100:8.2f} cm{marker}")
+
+    first_merge = merges[0].session_time
+    spike = [v for t, v in series if first_merge - 2.0 < t < first_merge]
+    settled = [v for t, v in series if t > merges[-1].session_time + 1.0]
+    assert spike and settled
+    assert max(spike) > 0.10        # the pre-merge spike (paper: 55 cm)
+    assert np.mean(settled) < 0.10  # flat and low afterwards (paper: ~6.5 cm)
+
+
+def test_fig10b_trajectories_close_to_ground_truth(euroc_session_result, benchmark):
+    """Fig. 10b: every client's estimated trajectory overlays its ground
+    truth after merging."""
+    result = benchmark.pedantic(lambda: euroc_session_result, rounds=1,
+                                iterations=1)
+    print("\nFig. 10b — per-client trajectory accuracy in the global map")
+    for cid, outcome in sorted(result.outcomes.items()):
+        ate = result.client_ate(cid)
+        print(f"  client {cid}: ATE {ate.rmse * 100:6.2f} cm over "
+              f"{ate.n_pairs} poses")
+        assert ate.rmse < 0.10
+    # Top-down overlay, Fig. 10b style: client 1's estimated path over
+    # its ground truth, drawn in the ground-truth frame via the ATE
+    # alignment transform.
+    from repro.metrics import ascii_xy_plot
+
+    outcome = result.outcomes[1]
+    ate = result.client_ate(1)
+    estimated = result.server.client_trajectory(1).positions
+    aligned = ate.transform.apply(estimated) if ate.transform else estimated
+    print(ascii_xy_plot({
+        "ground truth": outcome.scenario.dataset.ground_truth.positions,
+        "estimated (aligned)": aligned,
+    }))
+
+
+def test_fig10a_merge_latency_under_200ms(euroc_session_result, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for merge in euroc_session_result.merges:
+        print(f"merge client {merge.client_id}: {merge.merge_ms:.0f} ms "
+              f"(fused {merge.n_fused_points} points)")
+        assert merge.merge_ms < 200.0

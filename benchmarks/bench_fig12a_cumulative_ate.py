@@ -1,0 +1,65 @@
+"""Fig. 12a: cumulative ATE under network shaping vs single-user ORB-SLAM3.
+
+Paper: from user B's (MH05) perspective, SLAM-Share's cumulative ATE
+under 300 ms added delay or 18.7 / 9.4 Mbit/s bandwidth caps matches or
+beats the single-user ORB-SLAM3 line — the uplink is ~1-2 Mbit/s and
+the IMU rides out the delay, so shaping barely matters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientScenario, SlamShareSession
+from repro.datasets import euroc_dataset
+from repro.metrics import absolute_trajectory_error, cumulative_ate_series
+from repro.net import PROFILE_BW_9_4, PROFILE_BW_18_7, PROFILE_DELAY_300MS, PROFILE_IDEAL
+from tests.test_slam_system import run_system
+
+from .conftest import RATE, euroc_scenarios, share_config
+
+PROFILES = (PROFILE_IDEAL, PROFILE_DELAY_300MS, PROFILE_BW_18_7, PROFILE_BW_9_4)
+
+
+def test_fig12a_network_conditions(benchmark):
+    def sweep():
+        curves = {}
+        for profile in PROFILES:
+            session = SlamShareSession(
+                euroc_scenarios(duration_a=16.0, duration_b=12.0),
+                share_config(shaping=profile),
+            )
+            result = session.run()
+            # Skip the VI-initialization warmup: until the first server
+            # fix arrives (one RTT), the client dead-reckons from an
+            # unknown (zero) velocity — real VI systems likewise exclude
+            # their init window from evaluation.
+            est = result.outcomes[1].display_trajectory().slice_time(2.0, 1e9)
+            gt = result.outcomes[1].scenario.dataset.ground_truth
+            eval_times = np.arange(4.0, 12.0, 2.0)
+            curves[profile.name] = {
+                "series": cumulative_ate_series(est, gt, eval_times),
+                "final": absolute_trajectory_error(est, gt).rmse,
+            }
+        return curves
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Single-user vanilla ORB-SLAM3 stand-in on the same trajectory.
+    ds = euroc_dataset("MH05", duration=12.0, rate=RATE)
+    single, _ = run_system(ds)
+    single_ate = absolute_trajectory_error(
+        single.estimated_trajectory(), ds.ground_truth
+    ).rmse
+
+    print("\nFig. 12a — user B cumulative ATE under shaping")
+    print(f"  single-user ORB-SLAM3: {single_ate * 100:.2f} cm")
+    for name, data in curves.items():
+        series = "  ".join(
+            f"{t:.0f}s:{v * 100:.1f}" for t, v in data["series"]
+        )
+        print(f"  {name:<24} final {data['final'] * 100:6.2f} cm   [{series}]")
+
+    for name, data in curves.items():
+        # SLAM-Share under any shaping stays comparable to single-user
+        # ORB-SLAM3 (paper: 'about the same or better').
+        assert data["final"] < max(3.0 * single_ate, 0.10)

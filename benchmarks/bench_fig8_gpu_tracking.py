@@ -1,0 +1,56 @@
+"""Fig. 8: ORB-SLAM3 (CPU) vs SLAM-Share (GPU) tracking latency.
+
+Paper: the GPU cuts extraction by >2x and search-local-points by
+25-50%, reducing total tracking latency ~40% (mono) and >50% (stereo),
+landing under the 33 ms real-time budget.  We replay real workloads
+from KITTI-00 and EuRoC-V202 (mono and stereo) through both device
+models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import TrackingLatencyModel
+
+from .bench_fig5_tracking_breakdown import _mean_workloads
+
+CASES = [
+    ("KITTI-00", False),
+    ("KITTI-00", True),
+    ("V202", False),
+    ("V202", True),
+]
+
+
+@pytest.mark.parametrize("trace,stereo", CASES)
+def test_fig8_gpu_vs_cpu(trace, stereo, benchmark):
+    workloads = _mean_workloads(trace)
+    model = TrackingLatencyModel()
+
+    def evaluate():
+        cpu = [model.breakdown(w, stereo=stereo, device="cpu") for w in workloads]
+        gpu = [model.breakdown(w, stereo=stereo, device="gpu") for w in workloads]
+        return cpu, gpu
+
+    cpu, gpu = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    cpu_total = float(np.mean([b.total for b in cpu]))
+    gpu_total = float(np.mean([b.total for b in gpu]))
+    cpu_ext = float(np.mean([b.orb_extraction for b in cpu]))
+    gpu_ext = float(np.mean([b.orb_extraction for b in gpu]))
+    cpu_search = float(np.mean([b.search_local_points for b in cpu]))
+    gpu_search = float(np.mean([b.search_local_points for b in gpu]))
+    reduction = 1 - gpu_total / cpu_total
+
+    mode = "stereo" if stereo else "mono"
+    print(f"\nFig. 8 — {trace} ({mode}): OS3-CPU vs S-Sh-GPU (simulated ms)")
+    print(f"  extraction   {cpu_ext:7.2f} -> {gpu_ext:7.2f}")
+    print(f"  search local {cpu_search:7.2f} -> {gpu_search:7.2f}")
+    print(f"  TOTAL        {cpu_total:7.2f} -> {gpu_total:7.2f} "
+          f"({100 * reduction:.0f}% reduction)")
+
+    # Paper shape: >2x extraction cut; 25%+ search cut; ~40% (mono) /
+    # >50% (stereo) total reduction; GPU total real-time.
+    assert gpu_ext < cpu_ext / 2
+    assert gpu_search < cpu_search * 0.75
+    assert reduction > (0.50 if stereo else 0.35)
+    assert gpu_total < 33.0

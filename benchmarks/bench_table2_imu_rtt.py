@@ -1,0 +1,104 @@
+"""Table 2: IMU-compensated accuracy as server RTT grows.
+
+Paper: with the client's IMU bridging the wait for server poses, whole-
+map ATE degrades only from 5.91 cm (0 RTT) to 6.58 cm (1000 ms), and a
+stressful sharp-turn region from 2.41 cm to 3.13 cm — graceful, not
+catastrophic.  We reproduce the sweep by delaying server pose delivery
+by a fixed RTT while the client dead-reckons on IMU (Alg. 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import euroc_dataset, kitti_dataset
+from repro.geometry import Trajectory, quaternion
+from repro.imu import (
+    ClientMotionModel,
+    GRAVITY_W,
+    ImuBuffer,
+    ImuState,
+    preintegrate,
+    synthesize_imu,
+)
+from repro.metrics import absolute_trajectory_error
+
+RTTS_MS = (0, 30, 60, 90, 167, 200, 300, 1000)
+
+
+def _client_rtt_sweep(dataset, rtts_ms, pose_noise_m=0.004, seed=5):
+    """Run the client motion model with server poses arriving RTT late.
+
+    Server poses are ground truth + centimeter SLAM noise (the paper's
+    server-side tracking error); between arrivals the client relies on
+    preintegrated IMU.
+    """
+    traj = dataset.ground_truth
+    rate = dataset.rate
+    imu = ImuBuffer(synthesize_imu(traj, rate_hz=200.0, seed=11))
+    rng_master = np.random.default_rng(seed)
+    results = {}
+    for rtt_ms in rtts_ms:
+        lag = max(int(round(rtt_ms / 1000.0 * rate)), 0)
+        rng = np.random.default_rng(rng_master.integers(1 << 31))
+        p0 = traj[0]
+        model = ClientMotionModel(
+            ImuState(
+                quaternion.to_matrix(p0.orientation),
+                p0.position,
+                traj.velocities()[1],
+                p0.timestamp,
+            )
+        )
+        for i in range(1, len(traj)):
+            delta = preintegrate(imu, traj[i - 1].timestamp, traj[i].timestamp)
+            model.advance(delta)
+            ready = i - lag
+            if ready >= 1:
+                gt_pose = traj[ready].pose_bw()
+                noisy = gt_pose.perturb(
+                    np.concatenate(
+                        [rng.normal(scale=pose_noise_m, size=3),
+                         rng.normal(scale=0.001, size=3)]
+                    )
+                )
+                model.receive_slam_pose(ready, noisy)
+        est = Trajectory.from_arrays(
+            traj.timestamps,
+            np.stack([s.position for s in model.states]),
+        )
+        results[rtt_ms] = est
+    return results
+
+
+@pytest.mark.parametrize("trace", ["KITTI-00", "MH05"])
+def test_table2_ate_vs_rtt(trace, benchmark):
+    if trace == "KITTI-00":
+        ds = kitti_dataset("KITTI-00", duration=20.0, rate=10.0)
+        region = (8.0, 14.0)     # a corner of the circuit (sharp turn)
+    else:
+        ds = euroc_dataset("MH05", duration=20.0, rate=10.0)
+        region = (8.0, 14.0)
+
+    estimates = benchmark.pedantic(
+        lambda: _client_rtt_sweep(ds, RTTS_MS), rounds=1, iterations=1
+    )
+    whole = {}
+    small = {}
+    for rtt_ms, est in estimates.items():
+        whole[rtt_ms] = absolute_trajectory_error(est, ds.ground_truth).rmse
+        seg = est.slice_time(*region)
+        gt_seg = ds.ground_truth.slice_time(*region)
+        small[rtt_ms] = absolute_trajectory_error(seg, gt_seg).rmse
+
+    print(f"\nTable 2 — {trace}: IMU-compensated ATE vs RTT")
+    print(f"{'RTT (ms)':>10} {'Whole map (cm)':>16} {'Region (cm)':>14}")
+    for rtt_ms in RTTS_MS:
+        print(f"{rtt_ms:>10} {whole[rtt_ms] * 100:>16.2f} "
+              f"{small[rtt_ms] * 100:>14.2f}")
+
+    # Paper shape: monotone-ish, gentle degradation; even 1000 ms RTT
+    # costs well under 2x the 0-RTT error and stays centimeter-scale.
+    assert whole[1000] < 2.5 * max(whole[0], 0.01)
+    assert whole[1000] < 0.12
+    assert whole[300] <= whole[1000] + 1e-6
+    assert whole[0] <= whole[300] + 0.01

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Network resilience: SLAM-Share vs the Edge-SLAM-style baseline.
+
+Sweeps the paper's §5.7 `tc` shaping profiles (ideal 10 GbE, +300 ms
+delay, 18.7 and 9.4 Mbit/s caps) over the same two-user scenario, for
+both architectures, and reports accuracy, pose RTT and update delivery.
+
+Run:  python examples/network_conditions.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    BaselineConfig,
+    BaselineSession,
+    ClientScenario,
+    SlamShareConfig,
+    SlamShareSession,
+)
+from repro.datasets import euroc_dataset
+from repro.net import (
+    PROFILE_BW_9_4,
+    PROFILE_BW_18_7,
+    PROFILE_DELAY_300MS,
+    PROFILE_IDEAL,
+)
+
+PROFILES = (PROFILE_IDEAL, PROFILE_DELAY_300MS, PROFILE_BW_18_7, PROFILE_BW_9_4)
+
+
+def scenarios():
+    return [
+        ClientScenario(0, euroc_dataset("MH04", duration=14.0, rate=10.0)),
+        ClientScenario(
+            1, euroc_dataset("MH05", duration=11.0, rate=10.0),
+            start_time=4.0, oracle_seed=9, imu_seed=13,
+        ),
+    ]
+
+
+def main() -> None:
+    print(f"{'condition':<24} {'system':<12} {'user-B ATE':>11} "
+          f"{'pose RTT':>10} {'notes'}")
+    print("-" * 78)
+    for profile in PROFILES:
+        config = SlamShareConfig(
+            camera_fps=10.0, render_video_frames=False, shaping=profile
+        )
+        share = SlamShareSession(scenarios(), config).run()
+        # Skip the VI-init warmup in the on-device trajectory.
+        est = share.outcomes[1].display_trajectory().slice_time(2.0, 1e9)
+        gt = share.outcomes[1].scenario.dataset.ground_truth
+        from repro.metrics import absolute_trajectory_error
+
+        ate = absolute_trajectory_error(est, gt).rmse
+        rtt = np.mean(share.outcomes[1].pose_rtts_ms)
+        print(f"{profile.name:<24} {'SLAM-Share':<12} "
+              f"{ate * 100:>9.2f}cm {rtt:>8.0f}ms  merged at "
+              f"{share.merges[0].session_time:.1f}s" if share.merges else "")
+
+        baseline = BaselineSession(
+            scenarios(), config, BaselineConfig(hold_down_frames=50)
+        ).run()
+        b_ate = baseline.client_ate(1).rmse
+        state = baseline.clients[1]
+        uploads = np.mean([r.transfer1_ms for r in state.rounds]) \
+            if state.rounds else float("nan")
+        print(f"{'':<24} {'baseline':<12} {b_ate * 100:>9.2f}cm "
+              f"{'-':>10}  map upload {uploads:.0f} ms, "
+              f"{state.frames_dropped} frames dropped")
+    print("-" * 78)
+    print("SLAM-Share's ~1-2 Mbit/s uplink and IMU-bridged RTTs keep its "
+          "accuracy flat across conditions;")
+    print("the baseline pays for every map round-trip and for full SLAM "
+          "on the device.")
+
+
+if __name__ == "__main__":
+    main()

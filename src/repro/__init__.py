@@ -1,0 +1,56 @@
+"""SLAM-Share reproduction: edge-assisted multi-user visual-inertial SLAM.
+
+Reproduces *SLAM-Share: Visual Simultaneous Localization and Mapping
+for Real-time Multi-user Augmented Reality* (CoNEXT 2022) as a pure
+Python library: a from-scratch SLAM stack, an IMU-assisted client, a
+GPU-accelerated edge server with a shared-memory global map, multi-
+client map merging, an Edge-SLAM-style baseline, and the synthetic
+datasets, network simulation and metrics needed to regenerate every
+table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import core, datasets
+
+    mh04 = datasets.euroc_dataset("MH04", duration=20.0, rate=10.0)
+    mh05 = datasets.euroc_dataset("MH05", duration=20.0, rate=10.0)
+    session = core.SlamShareSession(
+        [
+            core.ClientScenario(0, mh04),
+            core.ClientScenario(1, mh05, start_time=5.0),
+        ]
+    )
+    result = session.run()
+    print(result.client_ate(1))
+"""
+
+from . import (
+    core,
+    datasets,
+    geometry,
+    gpu,
+    imu,
+    metrics,
+    net,
+    sharedmem,
+    slam,
+    video,
+    vision,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "datasets",
+    "geometry",
+    "gpu",
+    "imu",
+    "metrics",
+    "net",
+    "sharedmem",
+    "slam",
+    "video",
+    "vision",
+    "__version__",
+]

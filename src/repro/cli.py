@@ -1,0 +1,148 @@
+"""Command-line interface for the SLAM-Share reproduction.
+
+Subcommands::
+
+    python -m repro.cli session  --traces MH04 MH05 --duration 12
+    python -m repro.cli baseline --traces MH04 MH05 --duration 12
+    python -m repro.cli info
+
+``session`` runs a SLAM-Share multi-client session; ``baseline`` the
+Edge-SLAM-style comparison; ``info`` prints the available traces and
+shaping profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import (
+    BaselineConfig,
+    BaselineSession,
+    ClientScenario,
+    SlamShareConfig,
+    SlamShareSession,
+)
+from .datasets import PAPER_TRACES, make_dataset
+from .net import ALL_PROFILES
+
+PROFILE_BY_NAME = {p.name: p for p in ALL_PROFILES}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLAM-Share (CoNEXT 2022) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--traces", nargs="+", default=["MH04", "MH05"],
+            help="one dataset trace per client (first client starts the map)",
+        )
+        p.add_argument("--duration", type=float, default=12.0,
+                       help="seconds of each trace to run")
+        p.add_argument("--rate", type=float, default=10.0,
+                       help="camera frame rate (Hz)")
+        p.add_argument("--join-gap", type=float, default=4.0,
+                       help="seconds between client join times")
+        p.add_argument(
+            "--shaping", choices=sorted(PROFILE_BY_NAME), default=None,
+            help="tc-style link shaping profile",
+        )
+        p.add_argument("--seed", type=int, default=7)
+
+    session = sub.add_parser("session", help="run a SLAM-Share session")
+    add_common(session)
+    baseline = sub.add_parser("baseline", help="run the Edge-SLAM baseline")
+    add_common(baseline)
+    baseline.add_argument("--hold-down-frames", type=int, default=50)
+    sub.add_parser("info", help="list traces and shaping profiles")
+    return parser
+
+
+def _scenarios(args) -> List[ClientScenario]:
+    scenarios = []
+    for i, trace in enumerate(args.traces):
+        dataset = make_dataset(trace, duration=args.duration, rate=args.rate)
+        scenarios.append(
+            ClientScenario(
+                client_id=i,
+                dataset=dataset,
+                start_time=i * args.join_gap,
+                oracle_seed=args.seed + 2 * i,
+                imu_seed=args.seed + 2 * i + 1,
+            )
+        )
+    return scenarios
+
+
+def _config(args) -> SlamShareConfig:
+    config = SlamShareConfig(camera_fps=args.rate, render_video_frames=False)
+    if args.shaping is not None:
+        config.shaping = PROFILE_BY_NAME[args.shaping]
+    return config
+
+
+def cmd_session(args) -> int:
+    session = SlamShareSession(_scenarios(args), _config(args),
+                               ate_sample_interval=1.0)
+    result = session.run()
+    print(f"session: {result.duration:.1f} s simulated, "
+          f"{result.server.global_map.summary()}")
+    for merge in result.merges:
+        print(f"  merge: client {merge.client_id} at "
+              f"t={merge.session_time:.1f} s in {merge.merge_ms:.0f} ms")
+    for client_id, outcome in sorted(result.outcomes.items()):
+        ate = result.client_ate(client_id)
+        print(f"  client {client_id}: ATE {ate.rmse * 100:.2f} cm, "
+              f"tracking {np.mean(outcome.tracking_latencies_ms):.1f} ms/frame, "
+              f"{outcome.frames_lost} lost")
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    session = BaselineSession(
+        _scenarios(args), _config(args),
+        BaselineConfig(hold_down_frames=args.hold_down_frames),
+    )
+    result = session.run()
+    print(f"baseline: {result.duration:.1f} s simulated, "
+          f"{result.global_map.summary()}")
+    for client_id, state in sorted(result.clients.items()):
+        ate = result.client_ate(client_id)
+        print(f"  client {client_id}: global ATE {ate.rmse * 100:.2f} cm, "
+              f"{state.frames_dropped} frames dropped, "
+              f"{len(state.rounds)} sync rounds, merged={state.merged}")
+    return 0
+
+
+def cmd_info(_args) -> int:
+    print("traces (paper durations / frame counts):")
+    for name, (duration, frames) in PAPER_TRACES.items():
+        print(f"  {name:<10} {duration:6.1f} s  {frames:5d} frames")
+    print("shaping profiles:")
+    for name in sorted(PROFILE_BY_NAME):
+        profile = PROFILE_BY_NAME[name]
+        bw = (f"{profile.bandwidth_bps / 1e6:.1f} Mbit/s"
+              if profile.bandwidth_bps else "unconstrained")
+        print(f"  {name:<24} bw={bw:<16} delay={profile.delay_s * 1e3:.0f} ms")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "session": cmd_session,
+        "baseline": cmd_baseline,
+        "info": cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""SLAM-Share core: server, client, sessions, baseline, holograms."""
+
+from .baseline import (
+    BaselineClientState,
+    BaselineResult,
+    BaselineSession,
+    SyncRound,
+)
+from .client import FrameUpload, SlamShareClient
+from .config import BaselineConfig, MergeCostModel, SlamShareConfig
+from .orchestrator import Orchestrator, OrchestratorConfig
+from .holograms import (
+    Hologram,
+    HologramRegistry,
+    perceived_position,
+    placement_error,
+)
+from .server import ServerFrameResult, SlamShareServer
+from .session import (
+    ClientOutcome,
+    ClientScenario,
+    MergeEvent,
+    SessionResult,
+    SlamShareSession,
+)
+
+__all__ = [
+    "BaselineClientState",
+    "BaselineConfig",
+    "BaselineResult",
+    "BaselineSession",
+    "ClientOutcome",
+    "ClientScenario",
+    "FrameUpload",
+    "Hologram",
+    "HologramRegistry",
+    "MergeCostModel",
+    "MergeEvent",
+    "Orchestrator",
+    "OrchestratorConfig",
+    "ServerFrameResult",
+    "SessionResult",
+    "SlamShareClient",
+    "SlamShareConfig",
+    "SlamShareServer",
+    "SlamShareSession",
+    "SyncRound",
+    "perceived_position",
+    "placement_error",
+]

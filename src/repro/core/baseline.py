@@ -1,0 +1,385 @@
+"""The multi-user Edge-SLAM-style baseline (paper §5.1, Fig. 4b).
+
+Each client runs the *full* SLAM pipeline locally — tracking and
+mapping on the device, CPU only, with a reduced feature budget and
+frame drops whenever the (modeled) device tracking latency exceeds the
+camera budget.  Every ``hold_down_frames`` frames the client serializes
+its new map entities, ships them to the merge server, the server merges
+them into the global map and returns a partial global map (~6
+keyframes) that the client loads as its global-frame correction.
+
+The client's *global-frame* pose is its local pose pushed through the
+last correction it received — which is stale by up to a hold-down
+period plus the transfer latency.  This staleness is what the paper's
+short-term-ATE comparisons (Fig. 12b/c) punish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.registry import SyntheticDataset
+from ..geometry import SE3, Sim3, Trajectory, TrajectoryPoint, quaternion
+from ..gpu.device import CpuCostModel, TrackingLatencyModel
+from ..imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
+from ..metrics.ate import absolute_trajectory_error
+from ..metrics.cpu import CpuAccountant
+from ..metrics.latency import LatencyBreakdown
+from ..net import SimClock, deserialize_map, serialize_map
+from ..slam import (
+    KeyframeDatabase,
+    MapMerger,
+    SlamMap,
+    SlamSystem,
+    Vocabulary,
+    default_vocabulary,
+)
+from ..slam.keyframe import KeyFrame
+from .config import BaselineConfig, SlamShareConfig
+
+
+@dataclass
+class SyncRound:
+    """One hold-down/upload/merge/download cycle."""
+
+    started_at: float
+    map_bytes: int = 0
+    serialization_ms: float = 0.0
+    transfer1_ms: float = 0.0
+    deserialization_ms: float = 0.0
+    merge_ms: float = 0.0
+    processing_ms: float = 0.0
+    transfer2_ms: float = 0.0
+    load_ms: float = 0.0
+    completed_at: Optional[float] = None
+    missed: bool = False
+
+    def breakdown(self, hold_down_ms: float) -> LatencyBreakdown:
+        row = LatencyBreakdown("baseline")
+        row.set("hold_down", hold_down_ms)
+        row.set("serialization", self.serialization_ms)
+        row.set("data_transfer_1", self.transfer1_ms)
+        row.set("deserialization", self.deserialization_ms)
+        row.set("map_merging", self.merge_ms)
+        row.set("data_processing", self.processing_ms)
+        row.set("data_transfer_2", self.transfer2_ms)
+        row.set("load_map", self.load_ms)
+        return row
+
+
+@dataclass
+class BaselineClientState:
+    client_id: int
+    dataset: SyntheticDataset
+    system: SlamSystem
+    imu: ImuBuffer
+    oracle: object
+    cpu: CpuAccountant
+    start_time: float
+    correction: Sim3 = field(default_factory=Sim3.identity)
+    correction_fresh_at: float = -1.0
+    merged: bool = False
+    busy_until: float = 0.0
+    frames_dropped: int = 0
+    frames_processed: int = 0
+    prev_ts: Optional[float] = None
+    synced_keyframe_ids: set = field(default_factory=set)
+    global_display: List[TrajectoryPoint] = field(default_factory=list)
+    rounds: List[SyncRound] = field(default_factory=list)
+    pending_round: Optional[SyncRound] = None
+    frames_since_sync: int = 0
+
+    def record_global_pose(self, timestamp: float, pose_cw: SE3) -> None:
+        """Local pose pushed through the last (stale) global correction."""
+        global_cw = self.correction.transform_pose(pose_cw)
+        pose_wc = global_cw.inverse()
+        if self.global_display and timestamp <= self.global_display[-1].timestamp:
+            return
+        self.global_display.append(
+            TrajectoryPoint(
+                timestamp,
+                pose_wc.translation,
+                quaternion.from_matrix(pose_wc.rotation),
+            )
+        )
+
+
+@dataclass
+class BaselineResult:
+    clients: Dict[int, BaselineClientState]
+    global_map: SlamMap
+    duration: float
+
+    def client_ate(self, client_id: int, use_global: bool = True):
+        state = self.clients[client_id]
+        trajectory = (
+            Trajectory(list(state.global_display))
+            if use_global
+            else state.system.estimated_trajectory()
+        )
+        return absolute_trajectory_error(trajectory, state.dataset.ground_truth)
+
+    def missed_update_fraction(self, client_id: int) -> float:
+        rounds = self.clients[client_id].rounds
+        if not rounds:
+            return 0.0
+        return sum(1 for r in rounds if r.missed) / len(rounds)
+
+
+class BaselineSession:
+    """Runs the multi-user baseline over the simulated network."""
+
+    def __init__(
+        self,
+        scenarios,  # Sequence[ClientScenario] (reused from session.py)
+        config: Optional[SlamShareConfig] = None,
+        baseline: Optional[BaselineConfig] = None,
+        vocabulary: Optional[Vocabulary] = None,
+        client_cpu: Optional[CpuCostModel] = None,
+    ) -> None:
+        self.scenarios = list(scenarios)
+        self.config = config or SlamShareConfig()
+        self.baseline = baseline or BaselineConfig()
+        self.vocabulary = vocabulary or default_vocabulary()
+        self.clock = SimClock()
+        # Mobile-class client silicon: ~4x the per-op cost of the server CPU.
+        self.client_latency = TrackingLatencyModel(
+            cpu=client_cpu
+            or CpuCostModel(pixel_ns=220.0, pair_ns=100.0, feature_match_ns=3600.0)
+        )
+        self.global_map = SlamMap(map_id=0)
+        self.global_db = KeyframeDatabase(self.vocabulary)
+        self.states: Dict[int, BaselineClientState] = {}
+        self._links = {}
+        self._merged_once = False
+
+    def _setup_client(self, scenario) -> BaselineClientState:
+        dataset = scenario.dataset
+        gravity_map = dataset.pose_cw(0).rotation @ GRAVITY_W
+        slam_cfg = self.config.slam
+        # Weaker client frontend: smaller feature budget.
+        system = SlamSystem(
+            dataset.camera,
+            slam_cfg,
+            client_id=scenario.client_id,
+            vocabulary=self.vocabulary,
+            gravity=gravity_map,
+        )
+        oracle = dataset.make_oracle(
+            stereo=self.config.stereo,
+            seed=scenario.oracle_seed,
+            max_features=self.baseline.client_feature_budget,
+        )
+        imu = ImuBuffer(
+            synthesize_imu(
+                dataset.ground_truth,
+                rate_hz=self.config.imu_rate_hz,
+                seed=scenario.imu_seed,
+            )
+        )
+        state = BaselineClientState(
+            client_id=scenario.client_id,
+            dataset=dataset,
+            system=system,
+            imu=imu,
+            oracle=oracle,
+            cpu=CpuAccountant(),
+            start_time=scenario.start_time,
+        )
+        # Client 0 defines the global frame.
+        if scenario.client_id == min(s.client_id for s in self.scenarios):
+            state.merged = True
+        self._links[scenario.client_id] = self.config.shaping.build(
+            self.clock, seed=80 + scenario.client_id
+        )
+        self.states[scenario.client_id] = state
+        return state
+
+    # ---------------------------------------------------------------- run
+    def run(self) -> BaselineResult:
+        events = []
+        for scenario in self.scenarios:
+            state = self._setup_client(scenario)
+            dataset = scenario.dataset
+            indices = range(0, dataset.n_frames, scenario.frame_stride)
+            if scenario.n_frames is not None:
+                indices = list(indices)[: scenario.n_frames]
+            timestamps = [dataset.ground_truth[i].timestamp for i in indices]
+            for idx, ts in zip(indices, timestamps):
+                events.append(
+                    (scenario.start_time + (ts - timestamps[0]),
+                     scenario.client_id, idx, ts)
+                )
+        events.sort()
+        end_time = events[-1][0] if events else 0.0
+        for session_time, client_id, frame_idx, dataset_ts in events:
+            self.clock.schedule_at(
+                session_time,
+                self._frame_handler(self.states[client_id], frame_idx, dataset_ts),
+            )
+        self.clock.run()
+        for state in self.states.values():
+            state.cpu.close_window(max(end_time, 1e-6))
+        return BaselineResult(self.states, self.global_map, end_time)
+
+    def _frame_handler(self, state: BaselineClientState, frame_idx: int,
+                       dataset_ts: float):
+        def handle() -> None:
+            self._process_frame(state, frame_idx, dataset_ts)
+
+        return handle
+
+    # ----------------------------------------------------------- per frame
+    def _process_frame(self, state: BaselineClientState, frame_idx: int,
+                       dataset_ts: float) -> None:
+        now = self.clock.now
+        # Compute-pressure frame dropping: the device is still busy with
+        # an earlier frame (the paper's 15-FPS-at-turns effect).
+        if now < state.busy_until:
+            state.frames_dropped += 1
+            return
+        delta = None
+        if state.prev_ts is not None:
+            delta = preintegrate(state.imu, state.prev_ts, dataset_ts)
+        state.prev_ts = dataset_ts
+        observations = state.oracle.observe(
+            state.dataset.world.positions,
+            state.dataset.world.ids,
+            state.dataset.pose_cw(frame_idx),
+        )
+        result = state.system.process_frame(
+            dataset_ts, observations, imu_delta=delta
+        )
+        state.frames_processed += 1
+        latency = self.client_latency.breakdown(
+            result.tracking.workload, stereo=self.config.stereo, device="cpu"
+        )
+        state.busy_until = now + latency.total / 1e3
+        state.cpu.add_full_slam_frame(
+            result.tracking.workload.image_pixels,
+            result.tracking.workload.n_features,
+        )
+        if result.keyframe is not None:
+            state.cpu.add_keyframe_work()
+        if result.pose_cw is not None:
+            state.record_global_pose(dataset_ts, result.pose_cw)
+        state.frames_since_sync += 1
+        if (
+            state.frames_since_sync >= self.baseline.hold_down_frames
+            and state.pending_round is None
+        ):
+            state.frames_since_sync = 0
+            self._start_sync_round(state)
+
+    # ---------------------------------------------------------- sync round
+    def _start_sync_round(self, state: BaselineClientState) -> None:
+        sync = SyncRound(started_at=self.clock.now)
+        state.pending_round = sync
+        # Serialize only entities created since the last round.
+        fresh = SlamMap(map_id=state.client_id)
+        for kf in state.system.map.keyframes.values():
+            if kf.keyframe_id in state.synced_keyframe_ids:
+                continue
+            for pid in kf.observed_point_ids():
+                point = state.system.map.mappoints.get(int(pid))
+                if point is not None and point.point_id not in fresh.mappoints:
+                    fresh.add_mappoint(point)
+            fresh.add_keyframe(kf)
+            state.synced_keyframe_ids.add(kf.keyframe_id)
+        if fresh.n_keyframes == 0:
+            state.pending_round = None
+            return
+        payload = serialize_map(fresh)
+        sync.map_bytes = len(payload)
+        # Component models calibrated against Table 4 (per MB where
+        # size-dependent).
+        mb = len(payload) / 1e6
+        sync.serialization_ms = 40.0 * mb + 4.0
+        sync.deserialization_ms = 200.0 * mb + 20.0
+        state.cpu.add_serialization(len(payload))
+        link = self._links[state.client_id]
+        send_at = self.clock.now
+
+        def on_uploaded() -> None:
+            sync.transfer1_ms = (self.clock.now - send_at) * 1e3
+            merge_compute_s = self._server_merge(state, payload, sync)
+            self.clock.schedule(
+                sync.deserialization_ms / 1e3 + merge_compute_s,
+                lambda: self._send_partial_map(state, sync),
+            )
+
+        link.uplink.send(len(payload) + 40, on_uploaded)
+
+    def _server_merge(self, state: BaselineClientState, payload: bytes,
+                      sync: SyncRound) -> float:
+        # The serialization round trip yields true copies: the server's
+        # merge can transform its entities without touching the client's
+        # live local map (unlike SLAM-Share, where they are one object
+        # in shared memory — the whole point of the contrast).
+        shipped = deserialize_map(payload)
+        merger = MapMerger(
+            self.global_map, self.global_db, state.dataset.camera,
+            self.config.merger,
+        )
+        if state.merged:
+            # Already aligned: apply the established client->global
+            # transform to the update, then ingest it.
+            shipped.apply_transform_to_client(state.correction, state.client_id)
+            merger.ingest_client_map(shipped)
+            sync.merge_ms = self.config.merge_cost.baseline_merge_ms(
+                shipped.n_keyframes, 0, self.global_map.n_keyframes
+            )
+        else:
+            merge = merger.merge_maps(shipped, state.client_id)
+            if merge.success:
+                state.merged = True
+                state.correction = merge.transform
+                sync.merge_ms = self.config.merge_cost.baseline_merge_ms(
+                    merge.n_keyframes_checked,
+                    merge.n_fused_points,
+                    self.global_map.n_keyframes,
+                )
+            else:
+                for kf in self.global_map.keyframes_of_client(state.client_id):
+                    self.global_db.remove(kf.keyframe_id)
+                self.global_map.detach_client(state.client_id)
+                sync.merge_ms = self.config.merge_cost.baseline_merge_ms(
+                    shipped.n_keyframes, 0, max(self.global_map.n_keyframes, 1)
+                )
+        sync.processing_ms = 18.0 + 1.5 * shipped.n_keyframes
+        return (sync.merge_ms + sync.processing_ms) / 1e3
+
+    def _send_partial_map(self, state: BaselineClientState,
+                          sync: SyncRound) -> None:
+        # ~6 keyframes of the global map head back to the client.
+        partial = SlamMap(map_id=999)
+        kfs = sorted(
+            self.global_map.keyframes.values(), key=lambda kf: -kf.timestamp
+        )[: self.baseline.partial_map_keyframes]
+        for kf in kfs:
+            for pid in kf.observed_point_ids():
+                point = self.global_map.mappoints.get(int(pid))
+                if point is not None and point.point_id not in partial.mappoints:
+                    partial.add_mappoint(point)
+        payload_bytes = len(serialize_map(partial)) + sum(
+            kf.nbytes() for kf in kfs
+        )
+        link = self._links[state.client_id]
+        sent_at = self.clock.now
+
+        def on_downloaded() -> None:
+            sync.transfer2_ms = (self.clock.now - sent_at) * 1e3
+            sync.load_ms = 15.0 + 0.8 * self.baseline.partial_map_keyframes
+            sync.completed_at = self.clock.now + sync.load_ms / 1e3
+            state.correction_fresh_at = sync.completed_at
+            hold_down_s = self.baseline.hold_down_s
+            sync.missed = (
+                sync.completed_at - sync.started_at
+            ) > hold_down_s
+            state.rounds.append(sync)
+            state.pending_round = None
+
+        link.downlink.send(payload_bytes + 40, on_downloaded)

@@ -1,0 +1,80 @@
+"""Top-level SLAM-Share configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..gpu.device import CpuCostModel, GpuCostModel
+from ..net.tc import PROFILE_IDEAL, ShapingProfile
+from ..slam.merging import MergerConfig
+from ..slam.system import SlamConfig
+
+
+@dataclass
+class MergeCostModel:
+    """Simulated merge-computation time (calibrated to Table 4, §5.5).
+
+    The paper measures ~190 ms for a SLAM-Share merge (in shared
+    memory, weld-local BA only) and ~2339 ms for the baseline's full
+    merge of a freshly deserialized map.  Costs scale with the checked
+    keyframes (BoW queries) and the map size being welded.
+    """
+
+    bow_query_ms: float = 2.2            # per keyframe checked
+    alignment_ms: float = 28.0           # RANSAC Sim3 on correspondences
+    fuse_ms_per_point: float = 0.045     # duplicate fusion
+    weld_ba_ms: float = 110.0            # local BA around the weld
+    full_ba_ms_per_keyframe: float = 34.0  # baseline's full-map refinement
+
+    def slam_share_merge_ms(self, n_keyframes_checked: int,
+                            n_fused_points: int) -> float:
+        return (
+            n_keyframes_checked * self.bow_query_ms
+            + self.alignment_ms
+            + n_fused_points * self.fuse_ms_per_point
+            + self.weld_ba_ms
+        )
+
+    def baseline_merge_ms(self, n_keyframes_checked: int, n_fused_points: int,
+                          n_map_keyframes: int) -> float:
+        """The baseline refines the whole deserialized map, not a weld."""
+        return (
+            n_keyframes_checked * self.bow_query_ms
+            + self.alignment_ms
+            + n_fused_points * self.fuse_ms_per_point
+            + n_map_keyframes * self.full_ba_ms_per_keyframe
+        )
+
+
+@dataclass
+class SlamShareConfig:
+    """Everything a multi-user session needs."""
+
+    camera_fps: float = 30.0
+    imu_rate_hz: float = 200.0
+    video_gop: int = 30
+    video_quantization: int = 8
+    shaping: ShapingProfile = PROFILE_IDEAL
+    slam: SlamConfig = field(default_factory=SlamConfig)
+    merger: MergerConfig = field(default_factory=MergerConfig)
+    cpu_model: CpuCostModel = field(default_factory=CpuCostModel)
+    gpu_model: GpuCostModel = field(default_factory=GpuCostModel)
+    merge_cost: MergeCostModel = field(default_factory=MergeCostModel)
+    gpu_sharing: str = "spatial"        # GSlice-style spatial sharing
+    stereo: bool = True
+    # Merge attempt policy: try aligning an unmerged client's map after
+    # it has contributed at least this many keyframes.
+    merge_min_keyframes: int = 4
+    render_video_frames: bool = True    # real codec on rendered frames
+
+
+@dataclass
+class BaselineConfig:
+    """The Edge-SLAM-style multi-user baseline (paper §5.1)."""
+
+    hold_down_frames: int = 150          # batch size between map uploads
+    hold_down_s: float = 5.0
+    partial_map_keyframes: int = 6       # global-map slice returned to client
+    client_feature_budget: int = 150     # weaker client extractor
+    client_realtime_budget_ms: float = 66.7  # drops frames beyond this

@@ -1,0 +1,208 @@
+"""The SLAM-Share edge server (paper Fig. 3).
+
+One process per client runs tracking + local mapping with the GPU; the
+global map lives in the shared-memory store that every process attaches.
+A merger (Process M) aligns each newly joining client's submap into the
+global map — Alg. 2 over shared memory — after which that client's
+process tracks directly in the global map.
+
+All heavy computation happens here; clients receive only poses (tiny
+4x4 matrices) and, once, the merge transform that rebases their frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geometry import SE3, Sim3
+from ..gpu.device import StageBreakdown, TrackingLatencyModel
+from ..imu import ImuDelta
+from ..sharedmem import SharedMapStore
+from ..slam import (
+    KeyframeDatabase,
+    MapMerger,
+    MergeResult,
+    SlamMap,
+    SlamSystem,
+    Vocabulary,
+    default_vocabulary,
+)
+from ..vision import ObservedFeature, PinholeCamera
+from .config import SlamShareConfig
+
+
+@dataclass
+class ServerFrameResult:
+    """Everything the server produced for one uploaded frame."""
+
+    client_id: int
+    pose_cw: Optional[SE3]
+    tracking_success: bool
+    n_matches: int
+    latency: StageBreakdown
+    keyframe_inserted: bool = False
+    merge: Optional[MergeResult] = None
+    merge_ms: float = 0.0
+    store_bytes_written: int = 0
+
+
+class _ClientProcess:
+    """Server-side state for one client (Process A/B... in Fig. 3)."""
+
+    def __init__(self, client_id: int, system: SlamSystem) -> None:
+        self.client_id = client_id
+        self.system = system
+        self.merged = client_id == 0  # the first client *is* the global map
+        self.merge_transform: Optional[Sim3] = Sim3.identity() if self.merged else None
+
+
+class SlamShareServer:
+    """Edge server hosting per-client SLAM processes over a shared map."""
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        config: Optional[SlamShareConfig] = None,
+        vocabulary: Optional[Vocabulary] = None,
+        store: Optional[SharedMapStore] = None,
+    ) -> None:
+        self.camera = camera
+        self.config = config or SlamShareConfig()
+        self.vocabulary = vocabulary or default_vocabulary()
+        self.global_map = SlamMap(map_id=0)
+        self.global_database = KeyframeDatabase(self.vocabulary)
+        self.store = store if store is not None else SharedMapStore()
+        self.latency_model = TrackingLatencyModel(
+            self.config.cpu_model, self.config.gpu_model
+        )
+        self.processes: Dict[int, _ClientProcess] = {}
+        self.merge_history: List[MergeResult] = []
+
+    # --------------------------------------------------------------- admin
+    def add_client(self, client_id: int, gravity_map: np.ndarray) -> None:
+        """Register a client; allocates its server-side SLAM process."""
+        if client_id in self.processes:
+            raise ValueError(f"client {client_id} already registered")
+        first = not self.processes
+        if first:
+            system = SlamSystem(
+                self.camera,
+                self.config.slam,
+                client_id=client_id,
+                slam_map=self.global_map,
+                database=self.global_database,
+                vocabulary=self.vocabulary,
+                gravity=gravity_map,
+            )
+        else:
+            system = SlamSystem(
+                self.camera,
+                self.config.slam,
+                client_id=client_id,
+                vocabulary=self.vocabulary,
+                gravity=gravity_map,
+            )
+        process = _ClientProcess(client_id, system)
+        process.merged = first
+        process.merge_transform = Sim3.identity() if first else None
+        self.processes[client_id] = process
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.processes)
+
+    def gpu_share(self) -> float:
+        """GSlice-style spatial share each client's kernels receive."""
+        if self.config.gpu_sharing == "spatial" and self.n_clients > 0:
+            return 1.0 / self.n_clients
+        return 1.0
+
+    # --------------------------------------------------------------- frame
+    def process_frame(
+        self,
+        client_id: int,
+        timestamp: float,
+        observations: List[ObservedFeature],
+        imu_delta: Optional[ImuDelta] = None,
+    ) -> ServerFrameResult:
+        """Track one uploaded frame for a client (steps 3-7 of Fig. 3)."""
+        process = self.processes[client_id]
+        result = process.system.process_frame(
+            timestamp, observations, imu_delta=imu_delta
+        )
+        latency = self.latency_model.breakdown(
+            result.tracking.workload,
+            stereo=self.config.stereo,
+            device="gpu",
+            gpu_share=self.gpu_share(),
+        )
+        store_bytes = 0
+        merge_result = None
+        merge_ms = 0.0
+        if result.keyframe is not None:
+            # Zero-copy publication into the shared global map region.
+            new_points = [
+                process.system.map.mappoints[int(pid)]
+                for pid in result.keyframe.observed_point_ids()
+                if int(pid) in process.system.map.mappoints
+            ]
+            store_bytes = self.store.publish_map([result.keyframe], new_points)
+            if (
+                not process.merged
+                and process.system.map.n_keyframes >= self.config.merge_min_keyframes
+            ):
+                merge_result, merge_ms = self._try_merge(process)
+        pose = result.pose_cw
+        return ServerFrameResult(
+            client_id=client_id,
+            pose_cw=pose,
+            tracking_success=result.tracking.success,
+            n_matches=result.tracking.n_matches,
+            latency=latency,
+            keyframe_inserted=result.keyframe is not None,
+            merge=merge_result,
+            merge_ms=merge_ms,
+            store_bytes_written=store_bytes,
+        )
+
+    # --------------------------------------------------------------- merge
+    def _try_merge(self, process: _ClientProcess):
+        """Process M: align a client's submap into the global map."""
+        if self.global_map.n_keyframes == 0:
+            return None, 0.0
+        merger = MapMerger(
+            self.global_map,
+            self.global_database,
+            self.camera,
+            self.config.merger,
+        )
+        merge = merger.merge_maps(process.system.map, process.client_id)
+        if not merge.success:
+            # The failed attempt left the client's entities in the
+            # global structures; detach them (without touching the
+            # shared objects — the client's map still uses them) so the
+            # next attempt starts clean.
+            for kf in self.global_map.keyframes_of_client(process.client_id):
+                self.global_database.remove(kf.keyframe_id)
+            self.global_map.detach_client(process.client_id)
+            return None, 0.0
+        process.merged = True
+        process.merge_transform = merge.transform
+        process.system.retarget_to(
+            self.global_map, self.global_database, merge.transform
+        )
+        self.merge_history.append(merge)
+        merge_ms = self.config.merge_cost.slam_share_merge_ms(
+            merge.n_keyframes_checked, merge.n_fused_points
+        )
+        return merge, merge_ms
+
+    # ------------------------------------------------------------- queries
+    def client_trajectory(self, client_id: int):
+        return self.processes[client_id].system.estimated_trajectory()
+
+    def merged_clients(self) -> List[int]:
+        return [cid for cid, p in self.processes.items() if p.merged]

@@ -1,0 +1,371 @@
+"""Multi-user AR session runner (SLAM-Share end-to-end, Fig. 3/4a).
+
+Drives N clients through their datasets on the simulated clock:
+
+1. at each camera period the client advances its IMU pose, encodes the
+   frame (real codec on the rendered synthetic frame) and uploads it;
+2. the uplink delivers it after (shaped) transmission + propagation;
+3. the server process tracks it — the GPU latency model says when the
+   pose is ready — and the downlink returns the tiny pose message;
+4. the client fuses the delayed pose into its motion model (Alg. 1);
+5. keyframes are published into the shared-memory store, unmerged
+   clients are aligned into the global map by Process M (Alg. 2).
+
+The result object carries everything the evaluation section needs:
+display/server trajectories, merge events, stream stats, CPU samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datasets.registry import SyntheticDataset
+from ..geometry import SE3, Sim3, Trajectory
+from ..imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
+from ..metrics.ate import absolute_trajectory_error, associate
+from ..net import SimClock, connect
+from ..vision.render import render_frame
+from .client import SlamShareClient
+from .config import SlamShareConfig
+from .holograms import HologramRegistry
+from .server import SlamShareServer
+
+
+@dataclass
+class ClientScenario:
+    """One participant: which dataset it follows and when it joins."""
+
+    client_id: int
+    dataset: SyntheticDataset
+    start_time: float = 0.0       # session time at which the client joins
+    n_frames: Optional[int] = None
+    frame_stride: int = 1
+    oracle_seed: int = 7
+    imu_seed: int = 11
+
+
+@dataclass
+class MergeEvent:
+    session_time: float
+    client_id: int
+    merge_ms: float
+    n_fused_points: int
+    transform: Sim3
+
+
+@dataclass
+class ClientOutcome:
+    scenario: ClientScenario
+    client: SlamShareClient
+    frames_processed: int = 0
+    frames_lost: int = 0
+    pose_rtts_ms: List[float] = field(default_factory=list)
+    tracking_latencies_ms: List[float] = field(default_factory=list)
+
+    def display_trajectory(self) -> Trajectory:
+        return self.client.displayed_trajectory()
+
+
+@dataclass
+class SessionResult:
+    config: SlamShareConfig
+    server: SlamShareServer
+    outcomes: Dict[int, ClientOutcome]
+    merges: List[MergeEvent]
+    holograms: HologramRegistry
+    duration: float
+    # Snapshots taken *during* the run (Fig. 10a): unlike the post-hoc
+    # series below, these still see unmerged fragments in their private
+    # frames, so the pre-merge ATE spikes are visible.
+    live_global_ate: List[Tuple[float, float]] = field(default_factory=list)
+
+    def client_ate(self, client_id: int, use_display: bool = False):
+        outcome = self.outcomes[client_id]
+        estimated = (
+            outcome.display_trajectory()
+            if use_display
+            else self.server.client_trajectory(client_id)
+        )
+        return absolute_trajectory_error(
+            estimated, outcome.scenario.dataset.ground_truth
+        )
+
+    def global_map_ate_series(
+        self, eval_times: Sequence[float]
+    ) -> List[Tuple[float, float]]:
+        """Cumulative ATE of the *combined* global map over session time.
+
+        All clients' estimated positions (in whatever frame each
+        currently has) are pooled and aligned to the pooled ground
+        truth with a single transform.  Before a client merges, its
+        fragment sits in a private frame, inflating the residual —
+        exactly the paper's Fig. 10a spikes; after the merge the
+        residual collapses.
+        """
+        pooled = []
+        for outcome in self.outcomes.values():
+            start = outcome.scenario.start_time
+            estimated = self.server.client_trajectory(outcome.scenario.client_id)
+            est, gt, times = associate(
+                estimated, outcome.scenario.dataset.ground_truth
+            )
+            for e, g, t in zip(est, gt, times):
+                pooled.append((t + start, e, g))
+        pooled.sort(key=lambda item: item[0])
+        series = []
+        from ..geometry import umeyama
+
+        for t in eval_times:
+            prefix = [(e, g) for (ts, e, g) in pooled if ts <= t]
+            if len(prefix) < 3:
+                series.append((float(t), float("inf")))
+                continue
+            est = np.array([e for e, _ in prefix])
+            gt = np.array([g for _, g in prefix])
+            try:
+                transform = umeyama(est, gt, with_scale=True)
+                residual = np.linalg.norm(gt - transform.apply(est), axis=1)
+                series.append((float(t), float(np.sqrt((residual ** 2).mean()))))
+            except (ValueError, np.linalg.LinAlgError):
+                series.append((float(t), float("inf")))
+        return series
+
+    def client_frame(self, client_id: int) -> Sim3:
+        """Mapping from a client's current frame to the true world frame.
+
+        Derived by aligning the client's *displayed* trajectory to its
+        ground truth — i.e. how this client's coordinates relate to
+        reality.  Used by the hologram-consistency experiment.
+        """
+        outcome = self.outcomes[client_id]
+        result = absolute_trajectory_error(
+            outcome.display_trajectory(), outcome.scenario.dataset.ground_truth
+        )
+        return result.transform if result.transform is not None else Sim3.identity()
+
+
+class SlamShareSession:
+    """Builds and runs one multi-client SLAM-Share session."""
+
+    def __init__(
+        self,
+        scenarios: Sequence[ClientScenario],
+        config: Optional[SlamShareConfig] = None,
+        ate_sample_interval: Optional[float] = None,
+    ) -> None:
+        if not scenarios:
+            raise ValueError("need at least one client scenario")
+        self.scenarios = list(scenarios)
+        self.config = config or SlamShareConfig()
+        self.ate_sample_interval = ate_sample_interval
+        self.clock = SimClock()
+        camera = self.scenarios[0].dataset.camera
+        self.server = SlamShareServer(camera, self.config)
+        self.holograms = HologramRegistry()
+        self.outcomes: Dict[int, ClientOutcome] = {}
+        self.merges: List[MergeEvent] = []
+        self.live_global_ate: List[Tuple[float, float]] = []
+        self._links = {}
+        self._endpoints = {}
+
+    # -------------------------------------------------------------- setup
+    def _setup_client(self, scenario: ClientScenario):
+        dataset = scenario.dataset
+        t0_pose = dataset.pose_cw(0)
+        # The server map frame *is* the client's first camera frame
+        # (bootstrap pose = identity), so the client's motion model
+        # starts at the origin of that frame; gravity is rotated into it.
+        gravity_map = t0_pose.rotation @ GRAVITY_W
+        client = SlamShareClient(
+            scenario.client_id, self.config, SE3.identity(), gravity_map
+        )
+        self.server.add_client(scenario.client_id, gravity_map)
+        link = self.config.shaping.build(self.clock, seed=50 + scenario.client_id)
+        device_ep, server_ep = connect(
+            f"device-{scenario.client_id}", "edge-server", self.clock, link
+        )
+        self._links[scenario.client_id] = link
+        self._endpoints[scenario.client_id] = (device_ep, server_ep)
+        oracle = dataset.make_oracle(
+            stereo=self.config.stereo, seed=scenario.oracle_seed
+        )
+        imu = ImuBuffer(
+            synthesize_imu(
+                dataset.ground_truth,
+                rate_hz=self.config.imu_rate_hz,
+                seed=scenario.imu_seed,
+            )
+        )
+        self.outcomes[scenario.client_id] = ClientOutcome(scenario, client)
+        return client, oracle, imu
+
+    # ---------------------------------------------------------------- run
+    def run(self) -> SessionResult:
+        config = self.config
+        per_client = {}
+        events = []  # (session_time, client_id, frame_index, dataset_ts)
+        for scenario in self.scenarios:
+            client, oracle, imu = self._setup_client(scenario)
+            dataset = scenario.dataset
+            indices = range(0, dataset.n_frames, scenario.frame_stride)
+            if scenario.n_frames is not None:
+                indices = list(indices)[: scenario.n_frames]
+            timestamps = [dataset.ground_truth[i].timestamp for i in indices]
+            per_client[scenario.client_id] = {
+                "client": client,
+                "oracle": oracle,
+                "imu": imu,
+                "scenario": scenario,
+                "prev_ts": None,
+                "frame_no": 0,
+            }
+            for idx, ts in zip(indices, timestamps):
+                events.append(
+                    (scenario.start_time + (ts - timestamps[0]), scenario.client_id,
+                     idx, ts)
+                )
+        events.sort()
+        end_time = events[-1][0] if events else 0.0
+
+        for session_time, client_id, frame_idx, dataset_ts in events:
+            state = per_client[client_id]
+            self.clock.schedule_at(
+                session_time,
+                self._make_frame_handler(state, frame_idx, dataset_ts),
+            )
+        if self.ate_sample_interval is not None:
+            t = self.ate_sample_interval
+            while t < end_time:
+                self.clock.schedule_at(t, self._sample_global_ate)
+                t += self.ate_sample_interval
+        self.clock.run()
+        # Close CPU accounting windows.
+        for client_id, state in per_client.items():
+            state["client"].cpu.close_window(max(end_time, 1e-6))
+        return SessionResult(
+            config=config,
+            server=self.server,
+            outcomes=self.outcomes,
+            merges=self.merges,
+            holograms=self.holograms,
+            duration=end_time,
+            live_global_ate=self.live_global_ate,
+        )
+
+    def _sample_global_ate(self) -> None:
+        """Snapshot the pooled global-map ATE at the current sim time.
+
+        Unmerged clients' fragments are still in their private frames
+        here, so joins show up as spikes (Fig. 10a) that collapse once
+        the merge lands.
+        """
+        from ..geometry import umeyama
+
+        est_rows = []
+        gt_rows = []
+        for outcome in self.outcomes.values():
+            estimated = self.server.client_trajectory(outcome.scenario.client_id)
+            est, gt, _ = associate(
+                estimated, outcome.scenario.dataset.ground_truth
+            )
+            if len(est):
+                est_rows.append(est)
+                gt_rows.append(gt)
+        if not est_rows:
+            return
+        est = np.vstack(est_rows)
+        gt = np.vstack(gt_rows)
+        if len(est) < 3:
+            return
+        try:
+            transform = umeyama(est, gt, with_scale=True)
+            residual = np.linalg.norm(gt - transform.apply(est), axis=1)
+            rmse = float(np.sqrt((residual ** 2).mean()))
+        except (ValueError, np.linalg.LinAlgError):
+            rmse = float("inf")
+        self.live_global_ate.append((self.clock.now, rmse))
+
+    # ------------------------------------------------------ frame handling
+    def _make_frame_handler(self, state, frame_idx: int, dataset_ts: float):
+        def handle() -> None:
+            self._process_frame(state, frame_idx, dataset_ts)
+
+        return handle
+
+    def _process_frame(self, state, frame_idx: int, dataset_ts: float) -> None:
+        scenario: ClientScenario = state["scenario"]
+        client: SlamShareClient = state["client"]
+        dataset = scenario.dataset
+        outcome = self.outcomes[scenario.client_id]
+        # 1) client: IMU advance + video encode.
+        delta = None
+        if state["prev_ts"] is not None:
+            delta = preintegrate(state["imu"], state["prev_ts"], dataset_ts)
+        pixels = None
+        if self.config.render_video_frames:
+            pixels = render_frame(
+                dataset.world.positions,
+                dataset.world.ids,
+                dataset.camera,
+                dataset.pose_cw(frame_idx),
+                rng=np.random.default_rng(1000 + frame_idx),
+            ).pixels
+        upload = client.capture_frame(dataset_ts, delta, pixels=pixels)
+        state["prev_ts"] = dataset_ts
+        frame_no = state["frame_no"]
+        state["frame_no"] += 1
+
+        # 2) observations travel with the (simulated) video payload.
+        observations = state["oracle"].observe(
+            dataset.world.positions, dataset.world.ids, dataset.pose_cw(frame_idx)
+        )
+        link = self._links[scenario.client_id]
+        captured_at = self.clock.now
+
+        def on_uplink_delivered() -> None:
+            # 3) server tracking (GPU-accelerated, possibly shared).
+            result = self.server.process_frame(
+                scenario.client_id, dataset_ts, observations, imu_delta=delta
+            )
+            outcome.frames_processed += 1
+            if not result.tracking_success:
+                outcome.frames_lost += 1
+            outcome.tracking_latencies_ms.append(result.latency.total)
+            if result.merge is not None:
+                self.merges.append(
+                    MergeEvent(
+                        session_time=self.clock.now,
+                        client_id=scenario.client_id,
+                        merge_ms=result.merge_ms,
+                        n_fused_points=result.merge.n_fused_points,
+                        transform=result.merge.transform,
+                    )
+                )
+                client.apply_merge_transform(
+                    result.merge.transform,
+                    result.merge.transform.rotation @ client.motion_model.gravity,
+                )
+            if result.pose_cw is None:
+                return
+            pose = result.pose_cw
+            track_s = result.latency.total / 1e3
+
+            def send_pose() -> None:
+                def on_pose_delivered() -> None:
+                    client.receive_server_pose(frame_no, pose)
+                    outcome.pose_rtts_ms.append(
+                        (self.clock.now - captured_at) * 1e3
+                    )
+
+                link.downlink.send(128 + 40, on_pose_delivered)
+
+            self.clock.schedule(track_s, send_pose)
+
+        link.uplink.send(upload.video_bytes + 40, on_uplink_delivered)
+
+    # ------------------------------------------------------------- extras
+    def place_hologram(self, client_id: int, position, timestamp: float):
+        return self.holograms.place(position, client_id, timestamp)

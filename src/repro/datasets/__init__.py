@@ -1,0 +1,31 @@
+"""Synthetic datasets: worlds, trajectories and named paper traces."""
+
+from .registry import (
+    PAPER_TRACES,
+    SyntheticDataset,
+    euroc_dataset,
+    kitti_dataset,
+    make_dataset,
+)
+from .trajectory_gen import (
+    drone_ellipse_trajectory,
+    look_rotation,
+    path_trajectory,
+    rounded_rectangle_polyline,
+)
+from .world import World, drone_room_world, street_world
+
+__all__ = [
+    "PAPER_TRACES",
+    "SyntheticDataset",
+    "World",
+    "drone_ellipse_trajectory",
+    "drone_room_world",
+    "euroc_dataset",
+    "kitti_dataset",
+    "look_rotation",
+    "make_dataset",
+    "path_trajectory",
+    "rounded_rectangle_polyline",
+    "street_world",
+]

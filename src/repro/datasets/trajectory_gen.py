@@ -1,0 +1,156 @@
+"""Ground-truth trajectory generators (drone and vehicle motion).
+
+Conventions: world z is up; the body frame *is* the camera frame
+(+z optical axis forward, +x right, +y down).  Orientation is chosen so
+the camera looks along the direction of travel with an optional
+downward pitch — drones and dash-cams both roughly do this.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..geometry import Trajectory, TrajectoryPoint, quaternion
+
+WORLD_UP = np.array([0.0, 0.0, 1.0])
+
+
+def look_rotation(forward: np.ndarray, pitch_down: float = 0.0) -> np.ndarray:
+    """Body->world rotation for a camera looking along ``forward``.
+
+    ``forward`` needs only a nonzero horizontal component; ``pitch_down``
+    tilts the optical axis below the horizon (radians).
+    """
+    f = np.asarray(forward, dtype=float)
+    horiz = f - np.dot(f, WORLD_UP) * WORLD_UP
+    norm = np.linalg.norm(horiz)
+    if norm < 1e-9:
+        raise ValueError("forward direction must have a horizontal component")
+    horiz = horiz / norm
+    f = np.cos(pitch_down) * horiz - np.sin(pitch_down) * WORLD_UP
+    right = np.cross(f, WORLD_UP)
+    right = right / np.linalg.norm(right)
+    down = np.cross(f, right)
+    rotation = np.column_stack([right, down, f])
+    return rotation
+
+
+def drone_ellipse_trajectory(
+    duration: float = 60.0,
+    rate: float = 30.0,
+    semi_axes: Tuple[float, float] = (7.0, 5.0),
+    base_height: float = 1.6,
+    height_amplitude: float = 0.8,
+    lap_period: float = 40.0,
+    phase: float = 0.0,
+    center: Tuple[float, float] = (0.0, 0.0),
+    pitch_down: float = 0.05,
+    direction: float = 1.0,
+) -> Trajectory:
+    """A drone lapping an ellipse inside the hall, bobbing in height.
+
+    Different ``phase``/``semi_axes`` values give different clients
+    distinct but spatially overlapping trajectories (as EuRoC's MH04
+    and MH05 overlap in the same machine hall).
+    """
+    n = int(duration * rate)
+    times = np.arange(n) / rate
+    theta = phase + direction * 2.0 * np.pi * times / lap_period
+    a, b = semi_axes
+    x = center[0] + a * np.cos(theta)
+    y = center[1] + b * np.sin(theta)
+    z = base_height + height_amplitude * np.sin(2.0 * np.pi * times / (lap_period / 2.0))
+    # Velocity direction (analytic derivative).
+    dx = -a * np.sin(theta) * direction
+    dy = b * np.cos(theta) * direction
+    points = []
+    for i in range(n):
+        fwd = np.array([dx[i], dy[i], 0.0])
+        rot = look_rotation(fwd, pitch_down)
+        points.append(
+            TrajectoryPoint(
+                float(times[i]),
+                np.array([x[i], y[i], z[i]]),
+                quaternion.from_matrix(rot),
+            )
+        )
+    return Trajectory(points)
+
+
+def rounded_rectangle_polyline(
+    width: float, height: float, corner_radius: float = 12.0,
+    points_per_meter: float = 2.0,
+) -> np.ndarray:
+    """Dense (n, 2) polyline of a rounded rectangle centerline (ccw)."""
+    if corner_radius * 2 >= min(width, height):
+        raise ValueError("corner radius too large for the circuit")
+    r = corner_radius
+    segments = []
+
+    def line(p0, p1):
+        length = np.linalg.norm(np.subtract(p1, p0))
+        n = max(int(length * points_per_meter), 2)
+        t = np.linspace(0.0, 1.0, n, endpoint=False)
+        return np.outer(1 - t, p0) + np.outer(t, p1)
+
+    def arc(center, a0, a1):
+        n = max(int(abs(a1 - a0) * r * points_per_meter), 2)
+        t = np.linspace(a0, a1, n, endpoint=False)
+        return np.column_stack([center[0] + r * np.cos(t), center[1] + r * np.sin(t)])
+
+    segments.append(line((r, 0.0), (width - r, 0.0)))
+    segments.append(arc((width - r, r), -np.pi / 2, 0.0))
+    segments.append(line((width, r), (width, height - r)))
+    segments.append(arc((width - r, height - r), 0.0, np.pi / 2))
+    segments.append(line((width - r, height), (r, height)))
+    segments.append(arc((r, height - r), np.pi / 2, np.pi))
+    segments.append(line((0.0, height - r), (0.0, r)))
+    segments.append(arc((r, r), np.pi, 3 * np.pi / 2))
+    return np.vstack(segments)
+
+
+def path_trajectory(
+    polyline: np.ndarray,
+    speed: float,
+    duration: float,
+    rate: float = 30.0,
+    start_arclength: float = 0.0,
+    z: float = 1.5,
+    pitch_down: float = 0.02,
+    closed: bool = True,
+) -> Trajectory:
+    """Constant-speed travel along a polyline (closed circuits wrap).
+
+    Different ``start_arclength`` values put different clients at
+    different places on the same circuit — the KITTI-05 3-way split.
+    """
+    polyline = np.asarray(polyline, dtype=float)
+    if closed:
+        pts = np.vstack([polyline, polyline[:1]])
+    else:
+        pts = polyline
+    seg = np.diff(pts, axis=0)
+    seg_len = np.linalg.norm(seg, axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = float(cum[-1])
+
+    n = int(duration * rate)
+    times = np.arange(n) / rate
+    points = []
+    for i, t in enumerate(times):
+        s = start_arclength + speed * t
+        s = s % total if closed else min(s, total - 1e-6)
+        k = int(np.searchsorted(cum, s, side="right") - 1)
+        k = min(k, len(seg) - 1)
+        alpha = (s - cum[k]) / max(seg_len[k], 1e-12)
+        xy = pts[k] + alpha * seg[k]
+        fwd = np.array([seg[k][0], seg[k][1], 0.0])
+        rot = look_rotation(fwd, pitch_down)
+        points.append(
+            TrajectoryPoint(
+                float(t), np.array([xy[0], xy[1], z]), quaternion.from_matrix(rot)
+            )
+        )
+    return Trajectory(points)

@@ -1,0 +1,23 @@
+"""Geometry substrate: rotation groups, rigid/similarity transforms,
+point-set alignment and timestamped trajectories."""
+
+from . import quaternion, so3
+from .alignment import alignment_rmse, horn_se3, ransac_umeyama, umeyama
+from .se3 import SE3, interpolate, random_se3
+from .sim3 import Sim3
+from .trajectory import Trajectory, TrajectoryPoint
+
+__all__ = [
+    "SE3",
+    "Sim3",
+    "Trajectory",
+    "TrajectoryPoint",
+    "alignment_rmse",
+    "horn_se3",
+    "interpolate",
+    "quaternion",
+    "random_se3",
+    "ransac_umeyama",
+    "so3",
+    "umeyama",
+]

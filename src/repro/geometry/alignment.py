@@ -1,0 +1,122 @@
+"""Point-set alignment (Horn / Umeyama) and trajectory alignment.
+
+Two uses in this repo:
+
+* **Map merging** (Alg. 2's ``3DAlign``): estimate the Sim(3) between the
+  matched map points of a client map and the global map.
+* **ATE evaluation**: before computing absolute trajectory error, the
+  estimated trajectory is aligned to ground truth the same way the
+  standard TUM evaluation scripts do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .se3 import SE3
+from .sim3 import Sim3
+
+
+def umeyama(
+    source: np.ndarray, target: np.ndarray, with_scale: bool = True
+) -> Sim3:
+    """Least-squares similarity aligning ``source`` points onto ``target``.
+
+    Solves ``min sum ||target_i - (s R source_i + t)||^2`` using the
+    closed form of Umeyama (1991).  Both inputs are ``(n, 3)`` arrays with
+    row correspondence; ``n >= 3`` non-degenerate points are required.
+    """
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if source.shape != target.shape or source.ndim != 2 or source.shape[1] != 3:
+        raise ValueError(f"point sets must both be (n, 3); got {source.shape} vs {target.shape}")
+    n = source.shape[0]
+    if n < 3:
+        raise ValueError(f"need at least 3 correspondences, got {n}")
+
+    mu_src = source.mean(axis=0)
+    mu_tgt = target.mean(axis=0)
+    src_c = source - mu_src
+    tgt_c = target - mu_tgt
+
+    cov = tgt_c.T @ src_c / n
+    u, d, vt = np.linalg.svd(cov)
+    s_fix = np.eye(3)
+    if np.linalg.det(u) * np.linalg.det(vt) < 0:
+        s_fix[2, 2] = -1.0
+    rotation = u @ s_fix @ vt
+
+    if with_scale:
+        var_src = (src_c ** 2).sum() / n
+        if var_src <= 0:
+            raise ValueError("degenerate source point set (zero variance)")
+        scale = float((d * np.diag(s_fix)).sum() / var_src)
+        if scale <= 0:
+            raise ValueError("alignment produced non-positive scale")
+    else:
+        scale = 1.0
+
+    translation = mu_tgt - scale * (rotation @ mu_src)
+    return Sim3(rotation, translation, scale)
+
+
+def horn_se3(source: np.ndarray, target: np.ndarray) -> SE3:
+    """Rigid (no scale) least-squares alignment of ``source`` onto ``target``."""
+    sim = umeyama(source, target, with_scale=False)
+    return SE3(sim.rotation, sim.translation)
+
+
+def alignment_rmse(source: np.ndarray, target: np.ndarray, transform: Sim3) -> float:
+    """Root-mean-square residual of ``transform`` applied to ``source``."""
+    residual = np.asarray(target, dtype=float) - transform.apply(source)
+    return float(np.sqrt((residual ** 2).sum(axis=1).mean()))
+
+
+def ransac_umeyama(
+    source: np.ndarray,
+    target: np.ndarray,
+    rng: np.random.Generator,
+    with_scale: bool = True,
+    iterations: int = 100,
+    inlier_threshold: float = 0.25,
+    min_inliers: int = 6,
+) -> tuple:
+    """Robust alignment tolerating outlier correspondences.
+
+    Returns ``(Sim3, inlier_mask)`` or ``(None, None)`` when no model with
+    at least ``min_inliers`` support is found.  Used by map merging where
+    BoW feature matches contain wrong associations.
+    """
+    source = np.asarray(source, dtype=float)
+    target = np.asarray(target, dtype=float)
+    n = source.shape[0]
+    if n < 3:
+        return None, None
+
+    best_transform = None
+    best_mask = None
+    best_count = 0
+    for _ in range(iterations):
+        idx = rng.choice(n, size=3, replace=False)
+        try:
+            candidate = umeyama(source[idx], target[idx], with_scale=with_scale)
+        except (ValueError, np.linalg.LinAlgError):
+            continue
+        residual = np.linalg.norm(target - candidate.apply(source), axis=1)
+        mask = residual < inlier_threshold
+        count = int(mask.sum())
+        if count > best_count:
+            best_count = count
+            best_mask = mask
+            best_transform = candidate
+
+    if best_transform is None or best_count < max(min_inliers, 3):
+        return None, None
+
+    # Refit on all inliers for the final estimate.
+    refined = umeyama(source[best_mask], target[best_mask], with_scale=with_scale)
+    residual = np.linalg.norm(target - refined.apply(source), axis=1)
+    final_mask = residual < inlier_threshold
+    if final_mask.sum() < max(min_inliers, 3):
+        return None, None
+    return refined, final_mask

@@ -1,0 +1,22 @@
+"""GPU substrate: calibrated latency models, sharing scheduler, kernels."""
+
+from .device import (
+    CpuCostModel,
+    GpuCostModel,
+    StageBreakdown,
+    TrackingLatencyModel,
+)
+from .kernels import KernelTiming, time_fast_kernels, time_search_kernels
+from .scheduler import GpuScheduler, KernelRecord
+
+__all__ = [
+    "CpuCostModel",
+    "GpuCostModel",
+    "GpuScheduler",
+    "KernelRecord",
+    "KernelTiming",
+    "StageBreakdown",
+    "TrackingLatencyModel",
+    "time_fast_kernels",
+    "time_search_kernels",
+]

@@ -1,0 +1,91 @@
+"""Real data-parallel kernels with wall-clock timing helpers.
+
+The cost model in :mod:`repro.gpu.device` drives the *simulated* end-to-
+end figures; this module demonstrates that the parallelism the paper
+exploits is real, by timing our actual scalar (sequential CPU) versus
+vectorized (data-parallel, GPU-kernel-shaped) implementations of the
+two accelerated stages:
+
+* FAST corner detection (:func:`repro.vision.fast`),
+* search-local-points matching (:func:`repro.vision.matching`).
+
+The vectorized forms are exactly how the CUDA kernels are organized —
+per-pixel and per-pair independent work — so their numpy speedup is a
+lower bound on what a real GPU achieves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from ..vision.fast import detect_fast_scalar, detect_fast_vectorized
+from ..vision.matching import (
+    search_by_projection_scalar,
+    search_by_projection_vectorized,
+)
+
+
+@dataclass
+class KernelTiming:
+    name: str
+    scalar_s: float
+    vectorized_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.vectorized_s <= 0:
+            return float("inf")
+        return self.scalar_s / self.vectorized_s
+
+
+def _time(fn: Callable[[], object], repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_fast_kernels(
+    image: np.ndarray, threshold: int = 20, repeats: int = 3
+) -> KernelTiming:
+    """Wall-clock scalar vs vectorized FAST on one image."""
+    return KernelTiming(
+        name="fast_corner_detection",
+        scalar_s=_time(lambda: detect_fast_scalar(image, threshold), repeats),
+        vectorized_s=_time(lambda: detect_fast_vectorized(image, threshold), repeats),
+    )
+
+
+def time_search_kernels(
+    n_points: int = 400,
+    n_features: int = 300,
+    seed: int = 3,
+    repeats: int = 3,
+) -> KernelTiming:
+    """Wall-clock scalar vs vectorized search-local-points."""
+    rng = np.random.default_rng(seed)
+    proj_uv = rng.uniform(0, 320, size=(n_points, 2))
+    frame_uv = rng.uniform(0, 320, size=(n_features, 2))
+    point_desc = rng.integers(0, 256, size=(n_points, 32), dtype=np.uint8)
+    frame_desc = rng.integers(0, 256, size=(n_features, 32), dtype=np.uint8)
+    return KernelTiming(
+        name="search_local_points",
+        scalar_s=_time(
+            lambda: search_by_projection_scalar(
+                proj_uv, point_desc, frame_uv, frame_desc, radius=30.0
+            ),
+            repeats,
+        ),
+        vectorized_s=_time(
+            lambda: search_by_projection_vectorized(
+                proj_uv, point_desc, frame_uv, frame_desc, radius=30.0
+            ),
+            repeats,
+        ),
+    )

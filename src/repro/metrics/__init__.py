@@ -1,0 +1,45 @@
+"""Evaluation metrics: ATE (cumulative & short-term), latency, FPS, CPU."""
+
+from .ate import (
+    ATEResult,
+    absolute_trajectory_error,
+    associate,
+    cumulative_ate_series,
+    short_term_ate_series,
+)
+from .cpu import (
+    CYCLES_PER_SECOND,
+    SERVER_CORES,
+    ClientOpCosts,
+    CpuAccountant,
+    CpuSample,
+)
+from .fps import FpsTracker
+from .plots import ascii_series, ascii_xy_plot, trajectory_topdown
+from .latency import (
+    TABLE4_COMPONENTS,
+    LatencyBreakdown,
+    average_breakdowns,
+    format_table4,
+)
+
+__all__ = [
+    "ATEResult",
+    "CYCLES_PER_SECOND",
+    "ClientOpCosts",
+    "CpuAccountant",
+    "CpuSample",
+    "FpsTracker",
+    "LatencyBreakdown",
+    "SERVER_CORES",
+    "TABLE4_COMPONENTS",
+    "absolute_trajectory_error",
+    "ascii_series",
+    "ascii_xy_plot",
+    "associate",
+    "average_breakdowns",
+    "cumulative_ate_series",
+    "format_table4",
+    "short_term_ate_series",
+    "trajectory_topdown",
+]

@@ -1,0 +1,160 @@
+"""Absolute trajectory error (ATE): cumulative and short-term.
+
+Follows the standard TUM-benchmark methodology: associate estimated and
+ground-truth poses by timestamp, align with Umeyama (Sim3 for monocular,
+SE3 otherwise), and report the RMSE of position residuals.
+
+The paper additionally defines the **short-term ATE** (Appendix C): the
+error over only the last 5 seconds of trajectory, measuring the user's
+*current* experience.  We reproduce both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Sim3, Trajectory, umeyama
+
+
+@dataclass
+class ATEResult:
+    rmse: float
+    mean: float
+    median: float
+    max: float
+    n_pairs: int
+    transform: Optional[Sim3] = None  # alignment est -> ground truth
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ATEResult(rmse={self.rmse:.4f} m, n={self.n_pairs})"
+
+
+def associate(
+    estimated: Trajectory, ground_truth: Trajectory, max_dt: float = 0.02
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pair estimated samples with ground truth by nearest timestamp.
+
+    Returns ``(est_positions, gt_positions, timestamps)``; pairs farther
+    apart than ``max_dt`` seconds are dropped.
+    """
+    if len(estimated) == 0 or len(ground_truth) == 0:
+        return np.zeros((0, 3)), np.zeros((0, 3)), np.zeros(0)
+    gt_times = ground_truth.timestamps
+    est_times = estimated.timestamps
+    idx = np.searchsorted(gt_times, est_times)
+    est_pos: List[np.ndarray] = []
+    gt_pos: List[np.ndarray] = []
+    times: List[float] = []
+    for i, t in enumerate(est_times):
+        candidates = [c for c in (idx[i] - 1, idx[i]) if 0 <= c < len(gt_times)]
+        if not candidates:
+            continue
+        best = min(candidates, key=lambda c: abs(gt_times[c] - t))
+        if abs(gt_times[best] - t) > max_dt:
+            continue
+        est_pos.append(estimated[i].position)
+        gt_pos.append(ground_truth[best].position)
+        times.append(t)
+    if not est_pos:
+        return np.zeros((0, 3)), np.zeros((0, 3)), np.zeros(0)
+    return np.array(est_pos), np.array(gt_pos), np.array(times)
+
+
+def _ate_from_pairs(
+    est: np.ndarray,
+    gt: np.ndarray,
+    align: bool,
+    with_scale: bool,
+    transform: Optional[Sim3] = None,
+) -> ATEResult:
+    if len(est) < 3:
+        return ATEResult(float("inf"), float("inf"), float("inf"), float("inf"),
+                         len(est), None)
+    if transform is None and align:
+        try:
+            transform = umeyama(est, gt, with_scale=with_scale)
+        except (ValueError, np.linalg.LinAlgError):
+            transform = Sim3.identity()
+    applied = transform.apply(est) if transform is not None else est
+    errors = np.linalg.norm(gt - applied, axis=1)
+    return ATEResult(
+        rmse=float(np.sqrt((errors ** 2).mean())),
+        mean=float(errors.mean()),
+        median=float(np.median(errors)),
+        max=float(errors.max()),
+        n_pairs=len(errors),
+        transform=transform,
+    )
+
+
+def absolute_trajectory_error(
+    estimated: Trajectory,
+    ground_truth: Trajectory,
+    align: bool = True,
+    with_scale: bool = True,
+    max_dt: float = 0.02,
+) -> ATEResult:
+    """Cumulative ATE over the full overlap of the two trajectories."""
+    est, gt, _ = associate(estimated, ground_truth, max_dt=max_dt)
+    return _ate_from_pairs(est, gt, align, with_scale)
+
+
+def cumulative_ate_series(
+    estimated: Trajectory,
+    ground_truth: Trajectory,
+    eval_times: Sequence[float],
+    align: bool = True,
+    with_scale: bool = True,
+) -> List[Tuple[float, float]]:
+    """ATE of the trajectory prefix up to each evaluation time.
+
+    This is the paper's Fig. 10/12a metric: a snapshot of map accuracy
+    as the session progresses (alignment recomputed per snapshot, since
+    SLAM keeps refining all past poses).
+    """
+    est, gt, times = associate(estimated, ground_truth)
+    series = []
+    for t in eval_times:
+        mask = times <= t
+        result = _ate_from_pairs(est[mask], gt[mask], align, with_scale)
+        series.append((float(t), result.rmse))
+    return series
+
+
+def short_term_ate_series(
+    estimated: Trajectory,
+    ground_truth: Trajectory,
+    eval_times: Sequence[float],
+    window: float = 5.0,
+    align: bool = True,
+    with_scale: bool = True,
+) -> List[Tuple[float, float]]:
+    """ATE over the trailing ``window`` seconds at each evaluation time.
+
+    Alignment is computed on the full prefix (the map's frame is a
+    global property) while the error is evaluated only on the window —
+    matching the paper's Appendix C definition of the user's most
+    recent experience.
+    """
+    est, gt, times = associate(estimated, ground_truth)
+    series = []
+    for t in eval_times:
+        prefix = times <= t
+        if prefix.sum() < 3:
+            series.append((float(t), float("inf")))
+            continue
+        try:
+            transform = umeyama(est[prefix], gt[prefix], with_scale=with_scale) \
+                if align else None
+        except (ValueError, np.linalg.LinAlgError):
+            transform = Sim3.identity()
+        recent = prefix & (times >= t - window)
+        result = _ate_from_pairs(
+            est[recent], gt[recent], align=False, with_scale=with_scale,
+            transform=transform,
+        )
+        series.append((float(t), result.rmse))
+    return series

@@ -1,0 +1,96 @@
+"""Latency breakdown records (Table 4) and aggregation helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+# Row order of the paper's Table 4.
+TABLE4_COMPONENTS = (
+    "hold_down",
+    "serialization",
+    "encoding",
+    "data_transfer_1",
+    "deserialization",
+    "map_merging",
+    "data_processing",
+    "data_transfer_2",
+    "load_map",
+)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Per-component latencies of one merge/update round, in ms.
+
+    Components that do not apply to a pipeline (e.g. serialization in
+    SLAM-Share) are simply absent — they render as "N/A", as in the
+    paper's table.
+    """
+
+    label: str
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def set(self, component: str, value_ms: float) -> None:
+        if component not in TABLE4_COMPONENTS:
+            raise KeyError(f"unknown latency component {component!r}")
+        self.components[component] = value_ms
+
+    def get(self, component: str) -> Optional[float]:
+        return self.components.get(component)
+
+    @property
+    def total_ms(self) -> float:
+        return float(sum(self.components.values()))
+
+    def format_row(self, component: str) -> str:
+        value = self.components.get(component)
+        return "N/A" if value is None else f"{value:.1f}"
+
+
+def average_breakdowns(breakdowns: List[LatencyBreakdown],
+                       label: str) -> LatencyBreakdown:
+    """Component-wise mean across runs (the paper's 10-run average)."""
+    if not breakdowns:
+        return LatencyBreakdown(label)
+    merged = LatencyBreakdown(label)
+    for component in TABLE4_COMPONENTS:
+        values = [
+            b.components[component]
+            for b in breakdowns
+            if component in b.components
+        ]
+        if values:
+            merged.components[component] = float(np.mean(values))
+    return merged
+
+
+def format_table4(rows: Dict[str, LatencyBreakdown]) -> str:
+    """Render breakdowns side by side, Table 4 style."""
+    labels = list(rows)
+    header = f"{'Component':<22}" + "".join(f"{label:>18}" for label in labels)
+    lines = [header, "-" * len(header)]
+    names = {
+        "hold_down": "1. Hold-down Time",
+        "serialization": "2. Serialization",
+        "encoding": "3. Encoding",
+        "data_transfer_1": "4. Data Transfer 1",
+        "deserialization": "5. Deserialization",
+        "map_merging": "6. Map Merging",
+        "data_processing": "7. Data Processing",
+        "data_transfer_2": "8. Data Transfer 2",
+        "load_map": "9. Load Map",
+    }
+    for component in TABLE4_COMPONENTS:
+        row = f"{names[component]:<22}"
+        for label in labels:
+            row += f"{rows[label].format_row(component):>18}"
+        lines.append(row)
+    total = f"{'Total':<22}"
+    for label in labels:
+        total += f"{rows[label].total_ms:>18.1f}"
+    lines.append("-" * len(header))
+    lines.append(total)
+    return "\n".join(lines)

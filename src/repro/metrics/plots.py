@@ -1,0 +1,88 @@
+"""Terminal plotting: ASCII renderings of trajectories and series.
+
+The paper's figures are matplotlib plots; a dependency-light release
+still wants *some* way to eyeball a trajectory or an ATE series from a
+terminal, so the examples and benches use these.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry import Trajectory
+
+
+def ascii_xy_plot(
+    tracks: Dict[str, np.ndarray],
+    width: int = 60,
+    height: int = 22,
+    markers: str = "*o+x#@",
+) -> str:
+    """Top-down (x, y) plot of one or more point tracks.
+
+    ``tracks`` maps a label to an ``(n, >=2)`` array; each label gets its
+    own marker, later tracks draw over earlier ones.
+    """
+    points = [np.asarray(t, dtype=float) for t in tracks.values() if len(t)]
+    if not points:
+        return "(no data)"
+    all_pts = np.vstack([p[:, :2] for p in points])
+    lo = all_pts.min(axis=0)
+    hi = all_pts.max(axis=0)
+    span = np.maximum(hi - lo, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    for k, (label, track) in enumerate(tracks.items()):
+        marker = markers[k % len(markers)]
+        for row in np.asarray(track, dtype=float):
+            x = int((row[0] - lo[0]) / span[0] * (width - 1))
+            y = int((row[1] - lo[1]) / span[1] * (height - 1))
+            grid[height - 1 - y][x] = marker
+    legend = "   ".join(
+        f"{markers[k % len(markers)]} {label}" for k, label in enumerate(tracks)
+    )
+    frame = ["+" + "-" * width + "+"]
+    frame += ["|" + "".join(row) + "|" for row in grid]
+    frame += ["+" + "-" * width + "+", legend]
+    return "\n".join(frame)
+
+
+def ascii_series(
+    series: Sequence[Tuple[float, float]],
+    width: int = 50,
+    label: str = "",
+    log_bar: bool = False,
+) -> str:
+    """One line per (t, value): a horizontal bar chart of a time series."""
+    finite = [v for _, v in series if np.isfinite(v)]
+    if not finite:
+        return "(no data)"
+    top = max(finite)
+    lines = [label] if label else []
+    for t, v in series:
+        if not np.isfinite(v):
+            lines.append(f"  t={t:7.2f}  {'inf':>10}")
+            continue
+        if log_bar and top > 0 and v > 0:
+            frac = np.log1p(v) / np.log1p(top)
+        else:
+            frac = v / top if top > 0 else 0.0
+        bar = "#" * max(int(frac * width), 1 if v > 0 else 0)
+        lines.append(f"  t={t:7.2f}  {v:10.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def trajectory_topdown(
+    estimated: Trajectory,
+    ground_truth: Optional[Trajectory] = None,
+    width: int = 60,
+    height: int = 22,
+) -> str:
+    """Fig. 10b-style overlay: estimated path over ground truth."""
+    tracks: Dict[str, np.ndarray] = {}
+    if ground_truth is not None and len(ground_truth):
+        tracks["ground truth"] = ground_truth.positions
+    if len(estimated):
+        tracks["estimated"] = estimated.positions
+    return ascii_xy_plot(tracks, width=width, height=height)

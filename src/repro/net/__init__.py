@@ -1,0 +1,53 @@
+"""Network substrate: simulated clock, shaped links, transport, map codec."""
+
+from .link import DuplexLink, Link, LinkStats
+from .serialization import (
+    deserialize_map,
+    deserialize_pose,
+    map_payload_size,
+    serialize_map,
+    serialize_pose,
+)
+from .simclock import SimClock
+from .tc import (
+    ALL_PROFILES,
+    MBIT,
+    PROFILE_BW_9_4,
+    PROFILE_BW_18_7,
+    PROFILE_DELAY_300MS,
+    PROFILE_IDEAL,
+    ShapingProfile,
+)
+from .transport import (
+    ACK_BYTES,
+    FRAME_HEADER_BYTES,
+    Endpoint,
+    Message,
+    connect,
+    timed_transfer,
+)
+
+__all__ = [
+    "ACK_BYTES",
+    "ALL_PROFILES",
+    "DuplexLink",
+    "Endpoint",
+    "FRAME_HEADER_BYTES",
+    "Link",
+    "LinkStats",
+    "MBIT",
+    "Message",
+    "PROFILE_BW_18_7",
+    "PROFILE_BW_9_4",
+    "PROFILE_DELAY_300MS",
+    "PROFILE_IDEAL",
+    "ShapingProfile",
+    "SimClock",
+    "connect",
+    "deserialize_map",
+    "deserialize_pose",
+    "map_payload_size",
+    "serialize_map",
+    "serialize_pose",
+    "timed_transfer",
+]

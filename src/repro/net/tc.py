@@ -1,0 +1,46 @@
+"""`tc`-style traffic shaping profiles (paper §5.1).
+
+The paper shapes its 10 GbE testbed link with ``tc`` to add 300 ms of
+delay or restrict bandwidth to 18.7 / 9.4 Mbit/s.  A
+:class:`ShapingProfile` captures one such configuration and builds the
+corresponding simulated links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .link import DuplexLink
+from .simclock import SimClock
+
+MBIT = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class ShapingProfile:
+    """A named link configuration applied in both directions."""
+
+    name: str
+    bandwidth_bps: Optional[float] = None   # None = unconstrained
+    delay_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def build(self, clock: SimClock, seed: int = 5) -> DuplexLink:
+        return DuplexLink.create(
+            clock,
+            uplink_bps=self.bandwidth_bps,
+            downlink_bps=self.bandwidth_bps,
+            delay_s=self.delay_s,
+            loss_rate=self.loss_rate,
+            seed=seed,
+        )
+
+
+# The exact conditions evaluated in §5.7 of the paper.
+PROFILE_IDEAL = ShapingProfile("10GbE (no shaping)")
+PROFILE_DELAY_300MS = ShapingProfile("300 ms added delay", delay_s=0.300)
+PROFILE_BW_18_7 = ShapingProfile("18.7 Mbit/s", bandwidth_bps=18.7 * MBIT)
+PROFILE_BW_9_4 = ShapingProfile("9.4 Mbit/s", bandwidth_bps=9.4 * MBIT)
+
+ALL_PROFILES = (PROFILE_IDEAL, PROFILE_DELAY_300MS, PROFILE_BW_18_7, PROFILE_BW_9_4)

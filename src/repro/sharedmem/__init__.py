@@ -1,0 +1,32 @@
+"""Shared-memory substrate: arena, packed records, RW lock, map store."""
+
+from .arena import ALIGNMENT, Arena, ArenaError, ArenaStats
+from .mapstore import DEFAULT_CAPACITY, SharedMapStore, StoreStats
+from .records import (
+    keyframe_record_size,
+    mappoint_record_size,
+    read_keyframe_record,
+    read_mappoint_record,
+    write_keyframe_record,
+    write_mappoint_record,
+)
+from .rwlock import RWLock
+from .shm_backend import SharedMemoryRegion
+
+__all__ = [
+    "ALIGNMENT",
+    "Arena",
+    "ArenaError",
+    "ArenaStats",
+    "DEFAULT_CAPACITY",
+    "RWLock",
+    "SharedMapStore",
+    "SharedMemoryRegion",
+    "StoreStats",
+    "keyframe_record_size",
+    "mappoint_record_size",
+    "read_keyframe_record",
+    "read_mappoint_record",
+    "write_keyframe_record",
+    "write_mappoint_record",
+]

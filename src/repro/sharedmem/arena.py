@@ -1,0 +1,108 @@
+"""Arena allocator over one contiguous buffer.
+
+SLAM-Share places the global map in a single shared-memory region
+(2 GB in the paper, §4.3.2) that every per-client server process
+attaches.  The arena hands out aligned byte ranges from such a region;
+records are then written in place and read back zero-copy.
+
+First-fit free list with coalescing on free — simple, deterministic,
+and sufficient for map workloads (large, long-lived records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+ALIGNMENT = 8
+
+
+class ArenaError(RuntimeError):
+    """Allocation failure (out of space or invalid free)."""
+
+
+@dataclass
+class ArenaStats:
+    capacity: int
+    allocated: int
+    n_blocks: int
+    peak_allocated: int
+
+    @property
+    def utilization(self) -> float:
+        return self.allocated / self.capacity if self.capacity else 0.0
+
+
+class Arena:
+    """Byte-range allocator over a buffer (bytearray or shared memory)."""
+
+    def __init__(self, buffer) -> None:
+        self._buffer = memoryview(buffer)
+        if self._buffer.readonly:
+            raise ValueError("arena buffer must be writable")
+        self.capacity = len(self._buffer)
+        # Free list of (offset, size), sorted by offset.
+        self._free: List[Tuple[int, int]] = [(0, self.capacity)]
+        self._blocks: dict = {}
+        self._allocated = 0
+        self._peak = 0
+
+    @property
+    def buffer(self) -> memoryview:
+        return self._buffer
+
+    @staticmethod
+    def _align(size: int) -> int:
+        return (size + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+
+    def alloc(self, size: int) -> int:
+        """Reserve ``size`` bytes; returns the offset."""
+        if size <= 0:
+            raise ArenaError(f"invalid allocation size {size}")
+        need = self._align(size)
+        for i, (offset, free_size) in enumerate(self._free):
+            if free_size >= need:
+                remaining = free_size - need
+                if remaining:
+                    self._free[i] = (offset + need, remaining)
+                else:
+                    del self._free[i]
+                self._blocks[offset] = need
+                self._allocated += need
+                self._peak = max(self._peak, self._allocated)
+                return offset
+        raise ArenaError(
+            f"arena exhausted: need {need} bytes, "
+            f"{self.capacity - self._allocated} free (fragmented)"
+        )
+
+    def free(self, offset: int) -> None:
+        """Release a previously allocated block (coalescing neighbours)."""
+        size = self._blocks.pop(offset, None)
+        if size is None:
+            raise ArenaError(f"free of unallocated offset {offset}")
+        self._allocated -= size
+        # Insert sorted and coalesce.
+        self._free.append((offset, size))
+        self._free.sort()
+        merged: List[Tuple[int, int]] = []
+        for off, sz in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + sz)
+            else:
+                merged.append((off, sz))
+        self._free = merged
+
+    def view(self, offset: int, size: int) -> memoryview:
+        """Zero-copy view of a byte range."""
+        if offset < 0 or offset + size > self.capacity:
+            raise ArenaError(f"view out of range: {offset}+{size}")
+        return self._buffer[offset : offset + size]
+
+    def stats(self) -> ArenaStats:
+        return ArenaStats(
+            capacity=self.capacity,
+            allocated=self._allocated,
+            n_blocks=len(self._blocks),
+            peak_allocated=self._peak,
+        )

@@ -1,0 +1,156 @@
+"""The shared-memory global map store (paper §4.3.2).
+
+One :class:`SharedMapStore` owns a 2 GB-class arena holding every
+keyframe and map-point record of the global map.  Per-client server
+processes write their updates directly into the arena (no
+serialization, no copies between processes) and the merge process reads
+them in place.  A write-preferring readers-writer lock serializes
+writers while letting all clients read concurrently, mirroring the
+Boost named-sharable-mutex scheme.
+
+The store can be backed by a plain ``bytearray`` (single-process
+simulation, default) or a ``multiprocessing.shared_memory`` segment for
+true cross-process operation (see :mod:`repro.sharedmem.shm_backend`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..slam.keyframe import KeyFrame
+from ..slam.mappoint import MapPoint
+from .arena import Arena, ArenaStats
+from .records import (
+    keyframe_record_size,
+    mappoint_record_size,
+    read_keyframe_record,
+    read_mappoint_record,
+    write_keyframe_record,
+    write_mappoint_record,
+)
+from .rwlock import RWLock
+
+DEFAULT_CAPACITY = 256 * 1024 * 1024  # scaled-down 2 GB region
+
+
+@dataclass
+class StoreStats:
+    n_keyframes: int
+    n_mappoints: int
+    arena: ArenaStats
+    writes: int
+    reads: int
+
+
+class SharedMapStore:
+    """Arena-backed store of the global map's records."""
+
+    def __init__(self, buffer=None, capacity: int = DEFAULT_CAPACITY) -> None:
+        if buffer is None:
+            buffer = bytearray(capacity)
+        self.arena = Arena(buffer)
+        self.lock = RWLock()
+        # Record index: entity id -> (offset, size).  In the C++ system
+        # the index lives in shared memory too; here it is process-local
+        # metadata over the shared payload bytes.
+        self._kf_index: Dict[int, tuple] = {}
+        self._mp_index: Dict[int, tuple] = {}
+        self._writes = 0
+        self._reads = 0
+
+    # ------------------------------------------------------------- writes
+    def put_keyframe(self, kf: KeyFrame) -> int:
+        """Insert or update a keyframe record in place; returns offset."""
+        size = keyframe_record_size(len(kf), len(kf.bow_vector))
+        with self.lock.write():
+            old = self._kf_index.pop(kf.keyframe_id, None)
+            if old is not None:
+                self.arena.free(old[0])
+            offset = self.arena.alloc(size)
+            write_keyframe_record(self.arena.view(offset, size), kf)
+            self._kf_index[kf.keyframe_id] = (offset, size)
+            self._writes += 1
+        return offset
+
+    def put_mappoint(self, point: MapPoint) -> int:
+        size = mappoint_record_size(len(point.observations))
+        with self.lock.write():
+            old = self._mp_index.pop(point.point_id, None)
+            if old is not None:
+                self.arena.free(old[0])
+            offset = self.arena.alloc(size)
+            write_mappoint_record(self.arena.view(offset, size), point)
+            self._mp_index[point.point_id] = (offset, size)
+            self._writes += 1
+        return offset
+
+    def remove_keyframe(self, keyframe_id: int) -> None:
+        with self.lock.write():
+            entry = self._kf_index.pop(keyframe_id, None)
+            if entry is not None:
+                self.arena.free(entry[0])
+
+    def remove_mappoint(self, point_id: int) -> None:
+        with self.lock.write():
+            entry = self._mp_index.pop(point_id, None)
+            if entry is not None:
+                self.arena.free(entry[0])
+
+    # -------------------------------------------------------------- reads
+    def get_keyframe(self, keyframe_id: int) -> Optional[KeyFrame]:
+        with self.lock.read():
+            entry = self._kf_index.get(keyframe_id)
+            if entry is None:
+                return None
+            self._reads += 1
+            return read_keyframe_record(self.arena.view(*entry))
+
+    def get_mappoint(self, point_id: int) -> Optional[MapPoint]:
+        with self.lock.read():
+            entry = self._mp_index.get(point_id)
+            if entry is None:
+                return None
+            self._reads += 1
+            return read_mappoint_record(self.arena.view(*entry))
+
+    def keyframe_ids(self) -> List[int]:
+        with self.lock.read():
+            return sorted(self._kf_index)
+
+    def mappoint_ids(self) -> List[int]:
+        with self.lock.read():
+            return sorted(self._mp_index)
+
+    def iter_keyframes(self) -> Iterator[KeyFrame]:
+        for kf_id in self.keyframe_ids():
+            kf = self.get_keyframe(kf_id)
+            if kf is not None:
+                yield kf
+
+    # ---------------------------------------------------------- bulk sync
+    def publish_map(self, keyframes, mappoints) -> int:
+        """Write a batch of entities (one client's map update) in place.
+
+        Returns the total bytes written.  This is the SLAM-Share 'map
+        update' operation — contrast with the baseline, which must
+        serialize the same entities, ship them and rebuild them.
+        """
+        total = 0
+        for kf in keyframes:
+            self.put_keyframe(kf)
+            total += keyframe_record_size(len(kf), len(kf.bow_vector))
+        for point in mappoints:
+            self.put_mappoint(point)
+            total += mappoint_record_size(len(point.observations))
+        return total
+
+    def stats(self) -> StoreStats:
+        with self.lock.read():
+            return StoreStats(
+                n_keyframes=len(self._kf_index),
+                n_mappoints=len(self._mp_index),
+                arena=self.arena.stats(),
+                writes=self._writes,
+                reads=self._reads,
+            )

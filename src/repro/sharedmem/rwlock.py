@@ -1,0 +1,96 @@
+"""Readers-writer lock (the Boost named-sharable-mutex stand-in).
+
+SLAM-Share mediates shared-memory access with Boost's named upgradable
+mutexes so that "concurrent reads of shared data by threads of multiple
+processes" proceed in parallel "while restricting writes to be
+serialized" (§4.3.2).  This is the same discipline for Python threads:
+many concurrent readers, exclusive writers, writer preference to avoid
+writer starvation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Write-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        # Observability counters (used by tests and the lock benchmarks).
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    def acquire_read(self, timeout: float = None) -> bool:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not self._writer_active and self._writers_waiting == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            self._readers += 1
+            self.read_acquisitions += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without acquire_read")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: float = None) -> bool:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not self._writer_active and self._readers == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                self._writer_active = True
+                self.write_acquisitions += 1
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        if not self.acquire_read():
+            raise RuntimeError("read lock timeout")
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        if not self.acquire_write():
+            raise RuntimeError("write lock timeout")
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    @property
+    def active_readers(self) -> int:
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        return self._writer_active

@@ -1,0 +1,63 @@
+"""Real OS shared memory backing for the map store.
+
+The single-process simulation uses a ``bytearray`` arena; this module
+provides the genuine article — a named ``multiprocessing.shared_memory``
+segment that separate Python processes can attach, matching the Boost
+interprocess usage in the paper (an orchestrator allocates the region,
+per-client processes attach it by name, §4.3.2).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+
+class SharedMemoryRegion:
+    """A named shared-memory segment with create/attach semantics."""
+
+    def __init__(
+        self, name: Optional[str] = None, size: int = 0, create: bool = True
+    ) -> None:
+        if create:
+            if size <= 0:
+                raise ValueError("creating a region requires a positive size")
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=size
+            )
+        else:
+            if name is None:
+                raise ValueError("attaching a region requires its name")
+            self._shm = shared_memory.SharedMemory(name=name, create=False)
+        self._owner = create
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def buffer(self) -> memoryview:
+        return self._shm.buf
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Detach from the segment (all processes must call this)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (only the creating orchestrator calls this)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedMemoryRegion":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

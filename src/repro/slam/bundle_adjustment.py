@@ -1,0 +1,206 @@
+"""Bundle adjustment by alternating resection and intersection.
+
+Local BA refines keyframe poses and map-point positions to minimize
+reprojection error.  Rather than a monolithic sparse solver we alternate
+
+* **resection**: re-solve each keyframe pose by Gauss-Newton PnP against
+  the current points (poses are independent given points), and
+* **intersection**: re-solve each point position by linear least squares
+  against the current poses (points are independent given poses).
+
+This block-coordinate descent converges to the same stationary points as
+joint Gauss-Newton for these bipartite problems and is simple, robust
+and easily bounded — which matters because the paper's architecture
+point (§4.2.1) is precisely that BA-style serial refinement does *not*
+benefit from GPU parallelism and stays on the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..geometry import SE3
+from ..vision.camera import PinholeCamera
+from .map import SlamMap
+from .pnp import solve_pnp
+
+
+@dataclass
+class BAStats:
+    iterations: int
+    initial_error_px: float
+    final_error_px: float
+    n_keyframes: int
+    n_points: int
+
+
+def _collect_observations(
+    slam_map: SlamMap, keyframe_ids: Iterable[int]
+) -> Dict[int, List]:
+    """point_id -> list of (keyframe_id, uv, depth) among the keyframes.
+
+    ``depth`` is the measured (stereo/RGB-D) depth of the observing
+    feature, or <= 0 when unavailable.
+    """
+    observations: Dict[int, List] = {}
+    for kf_id in keyframe_ids:
+        kf = slam_map.keyframes.get(kf_id)
+        if kf is None:
+            continue
+        for feat_idx, pid in enumerate(kf.point_ids):
+            pid = int(pid)
+            if pid < 0 or pid not in slam_map.mappoints:
+                continue
+            observations.setdefault(pid, []).append(
+                (kf_id, kf.uv[feat_idx], float(kf.depths[feat_idx]))
+            )
+    return observations
+
+
+def _mean_reprojection_error(
+    slam_map: SlamMap,
+    camera: PinholeCamera,
+    observations: Dict[int, List],
+) -> float:
+    errors = []
+    for pid, obs in observations.items():
+        point = slam_map.mappoints[pid]
+        for kf_id, uv, _depth in obs:
+            kf = slam_map.keyframes[kf_id]
+            proj, _, valid = camera.project_world(point.position[None], kf.pose_cw)
+            if valid[0]:
+                errors.append(float(np.linalg.norm(proj[0] - uv)))
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def _triangulate_point(
+    position: np.ndarray,
+    observations: List,
+    slam_map: SlamMap,
+    camera: PinholeCamera,
+) -> Optional[np.ndarray]:
+    """Refine one point by Gauss-Newton on reprojection (+ depth) residuals.
+
+    Reprojection alone leaves the point free to slide along the viewing
+    ray when the observing baselines are short; the stereo/RGB-D depth
+    residual (expressed in disparity-like pixel units so the two terms
+    are commensurable) pins it down, exactly as ORB-SLAM3's stereo BA
+    edges do.
+    """
+    point = position.copy()
+    for _ in range(3):
+        h = np.zeros((3, 3))
+        g = np.zeros(3)
+        for kf_id, uv, depth_meas in observations:
+            kf = slam_map.keyframes.get(kf_id)
+            if kf is None:
+                continue
+            pose = kf.pose_cw
+            p_cam = pose.apply(point)
+            z = max(p_cam[2], 1e-6)
+            u_hat = camera.fx * p_cam[0] / z + camera.cx
+            v_hat = camera.fy * p_cam[1] / z + camera.cy
+            r = np.array([u_hat - uv[0], v_hat - uv[1]])
+            j_proj = np.array(
+                [
+                    [camera.fx / z, 0.0, -camera.fx * p_cam[0] / (z * z)],
+                    [0.0, camera.fy / z, -camera.fy * p_cam[1] / (z * z)],
+                ]
+            )
+            j = j_proj @ pose.rotation
+            h += j.T @ j
+            g += j.T @ r
+            if depth_meas > 0:
+                # Depth residual in pixel-like units: d(fx/z) ~ disparity.
+                scale = camera.fx / (z * z)
+                r_d = (z - depth_meas) * camera.fx / max(depth_meas, 1e-6)
+                j_d = (camera.fx / max(depth_meas, 1e-6)) * pose.rotation[2]
+                h += np.outer(j_d, j_d)
+                g += j_d * r_d
+                del scale
+        try:
+            step = np.linalg.solve(h + 1e-6 * np.eye(3), -g)
+        except np.linalg.LinAlgError:
+            return None
+        point = point + step
+        if np.linalg.norm(step) < 1e-10:
+            break
+    return point
+
+
+def local_bundle_adjustment(
+    slam_map: SlamMap,
+    camera: PinholeCamera,
+    keyframe_ids: Iterable[int],
+    fixed_keyframe_ids: Optional[Set[int]] = None,
+    iterations: int = 3,
+    min_observations: int = 2,
+) -> BAStats:
+    """Refine the given keyframes and the points they observe.
+
+    ``fixed_keyframe_ids`` are included in the error terms but their
+    poses are held constant (the standard local-BA gauge anchor).
+    """
+    keyframe_ids = [k for k in keyframe_ids if k in slam_map.keyframes]
+    fixed = set(fixed_keyframe_ids or ())
+    if not keyframe_ids:
+        return BAStats(0, 0.0, 0.0, 0, 0)
+    observations = _collect_observations(slam_map, keyframe_ids)
+    initial_error = _mean_reprojection_error(slam_map, camera, observations)
+
+    for _ in range(iterations):
+        # Intersection: refine each point with >= min_observations views.
+        for pid, obs in observations.items():
+            if len(obs) < min_observations:
+                continue
+            point = slam_map.mappoints[pid]
+            refined = _triangulate_point(point.position, obs, slam_map, camera)
+            if refined is not None and np.isfinite(refined).all():
+                point.position = refined
+        # Resection: refine each free keyframe pose.
+        for kf_id in keyframe_ids:
+            if kf_id in fixed:
+                continue
+            kf = slam_map.keyframes[kf_id]
+            pids = kf.point_ids
+            mask = pids >= 0
+            if mask.sum() < 6:
+                continue
+            pts = []
+            uvs = []
+            for feat_idx in np.nonzero(mask)[0]:
+                point = slam_map.mappoints.get(int(pids[feat_idx]))
+                if point is None:
+                    continue
+                pts.append(point.position)
+                uvs.append(kf.uv[feat_idx])
+            if len(pts) < 6:
+                continue
+            result = solve_pnp(
+                np.array(pts), np.array(uvs), camera, kf.pose_cw, max_iterations=5
+            )
+            if result.n_inliers >= 6:
+                kf.pose_cw = result.pose_cw
+
+    final_error = _mean_reprojection_error(slam_map, camera, observations)
+    return BAStats(
+        iterations=iterations,
+        initial_error_px=initial_error,
+        final_error_px=final_error,
+        n_keyframes=len(keyframe_ids),
+        n_points=len(observations),
+    )
+
+
+def global_bundle_adjustment(
+    slam_map: SlamMap, camera: PinholeCamera, iterations: int = 3
+) -> BAStats:
+    """BA over the entire map, anchoring the oldest keyframe."""
+    all_ids = sorted(slam_map.keyframes)
+    fixed = {all_ids[0]} if all_ids else set()
+    return local_bundle_adjustment(
+        slam_map, camera, all_ids, fixed_keyframe_ids=fixed, iterations=iterations
+    )

@@ -1,0 +1,258 @@
+"""The SLAM map: keyframes, map points and the covisibility graph.
+
+One :class:`SlamMap` instance is a client's local map in single-user
+operation, or the *global map* shared by all clients in SLAM-Share.
+Multi-client id management follows §4.3.1 of the paper: each client is
+assigned a disjoint id range so keyframe/map-point indices never collide
+when maps are merged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..geometry import SE3, Trajectory, TrajectoryPoint, quaternion
+from .keyframe import KeyFrame
+from .mappoint import MapPoint
+
+# Id space carved per client: client c allocates ids in
+# [c * CLIENT_ID_STRIDE, (c+1) * CLIENT_ID_STRIDE).
+CLIENT_ID_STRIDE = 10_000_000
+
+
+class IdAllocator:
+    """Collision-free id allocation across clients (paper §4.3.1)."""
+
+    def __init__(self, client_id: int = 0) -> None:
+        if client_id < 0:
+            raise ValueError("client_id must be non-negative")
+        self.client_id = client_id
+        self._next = client_id * CLIENT_ID_STRIDE
+
+    def allocate(self) -> int:
+        value = self._next
+        self._next += 1
+        if self._next >= (self.client_id + 1) * CLIENT_ID_STRIDE:
+            raise RuntimeError(f"id space exhausted for client {self.client_id}")
+        return value
+
+    @staticmethod
+    def owner_of(entity_id: int) -> int:
+        """Which client id range an id belongs to."""
+        return entity_id // CLIENT_ID_STRIDE
+
+
+class SlamMap:
+    """Keyframes + map points + covisibility, with basic bookkeeping."""
+
+    def __init__(self, map_id: int = 0) -> None:
+        self.map_id = map_id
+        self.keyframes: Dict[int, KeyFrame] = {}
+        self.mappoints: Dict[int, MapPoint] = {}
+        self.covisibility = nx.Graph()
+
+    # ---------------------------------------------------------------- insert
+    def add_keyframe(self, keyframe: KeyFrame) -> None:
+        if keyframe.keyframe_id in self.keyframes:
+            raise ValueError(f"duplicate keyframe id {keyframe.keyframe_id}")
+        self.keyframes[keyframe.keyframe_id] = keyframe
+        self.covisibility.add_node(keyframe.keyframe_id)
+        self._update_covisibility(keyframe)
+
+    def add_mappoint(self, point: MapPoint) -> None:
+        if point.point_id in self.mappoints:
+            raise ValueError(f"duplicate map-point id {point.point_id}")
+        self.mappoints[point.point_id] = point
+
+    def _update_covisibility(self, keyframe: KeyFrame) -> None:
+        """Add covisibility edges weighted by shared map-point count."""
+        shared: Dict[int, int] = {}
+        for pid in keyframe.observed_point_ids():
+            point = self.mappoints.get(int(pid))
+            if point is None:
+                continue
+            for other_kf in point.observations:
+                if other_kf != keyframe.keyframe_id and other_kf in self.keyframes:
+                    shared[other_kf] = shared.get(other_kf, 0) + 1
+        for other_kf, weight in shared.items():
+            self.covisibility.add_edge(keyframe.keyframe_id, other_kf, weight=weight)
+
+    def rebuild_covisibility(self) -> None:
+        """Recompute the whole covisibility graph from observations."""
+        self.covisibility = nx.Graph()
+        self.covisibility.add_nodes_from(self.keyframes)
+        for kf in self.keyframes.values():
+            self._update_covisibility(kf)
+
+    # ---------------------------------------------------------------- remove
+    def remove_keyframe(self, keyframe_id: int) -> None:
+        kf = self.keyframes.pop(keyframe_id, None)
+        if kf is None:
+            return
+        for pid in kf.observed_point_ids():
+            point = self.mappoints.get(int(pid))
+            if point is not None:
+                point.remove_observation(keyframe_id)
+        if self.covisibility.has_node(keyframe_id):
+            self.covisibility.remove_node(keyframe_id)
+
+    def remove_mappoint(self, point_id: int) -> None:
+        point = self.mappoints.pop(point_id, None)
+        if point is None:
+            return
+        for kf_id in list(point.observations):
+            kf = self.keyframes.get(kf_id)
+            if kf is not None:
+                kf.point_ids[kf.point_ids == point_id] = -1
+
+    def replace_mappoint(self, old_id: int, new_id: int) -> None:
+        """Fuse ``old_id`` into ``new_id`` (duplicate landmarks after merge)."""
+        if old_id == new_id:
+            return
+        old = self.mappoints.get(old_id)
+        new = self.mappoints.get(new_id)
+        if old is None or new is None:
+            return
+        for kf_id, feat_idx in old.observations.items():
+            kf = self.keyframes.get(kf_id)
+            if kf is None:
+                continue
+            kf.point_ids[kf.point_ids == old_id] = new_id
+            new.add_observation(kf_id, feat_idx)
+        new.times_visible += old.times_visible
+        new.times_found += old.times_found
+        del self.mappoints[old_id]
+
+    # ---------------------------------------------------------------- access
+    @property
+    def n_keyframes(self) -> int:
+        return len(self.keyframes)
+
+    @property
+    def n_mappoints(self) -> int:
+        return len(self.mappoints)
+
+    def keyframes_of_client(self, client_id: int) -> List[KeyFrame]:
+        return [kf for kf in self.keyframes.values() if kf.client_id == client_id]
+
+    def point_positions(self, point_ids: Iterable[int]) -> np.ndarray:
+        return np.array(
+            [self.mappoints[pid].position for pid in point_ids if pid in self.mappoints]
+        )
+
+    def covisible_keyframes(self, keyframe_id: int, min_weight: int = 1) -> List[int]:
+        """Keyframe ids sharing at least ``min_weight`` points, best first."""
+        if not self.covisibility.has_node(keyframe_id):
+            return []
+        neighbors = [
+            (other, data.get("weight", 0))
+            for other, data in self.covisibility[keyframe_id].items()
+            if data.get("weight", 0) >= min_weight
+        ]
+        neighbors.sort(key=lambda item: -item[1])
+        return [other for other, _ in neighbors]
+
+    def local_map_points(
+        self, keyframe_ids: Iterable[int], limit: Optional[int] = None
+    ) -> List[MapPoint]:
+        """Union of points observed by the given keyframes.
+
+        Returned oldest-first (ascending point id): tracking and fusion
+        greedily assign features to candidates in list order, and
+        long-established points are the accurate, drift-anchoring ones.
+        Preferring freshly-minted points instead lets the map 'follow'
+        its own pose drift — a positive feedback we explicitly avoid.
+        """
+        seen = set()
+        points: List[MapPoint] = []
+        for kf_id in keyframe_ids:
+            kf = self.keyframes.get(kf_id)
+            if kf is None:
+                continue
+            for pid in kf.observed_point_ids():
+                pid = int(pid)
+                if pid in seen:
+                    continue
+                seen.add(pid)
+                point = self.mappoints.get(pid)
+                if point is not None and not point.is_bad:
+                    points.append(point)
+        points.sort(key=lambda p: p.point_id)
+        if limit is not None:
+            points = points[:limit]
+        return points
+
+    def keyframe_trajectory(self, client_id: Optional[int] = None) -> Trajectory:
+        """Camera-center trajectory of (one client's) keyframes."""
+        kfs = sorted(
+            (
+                kf
+                for kf in self.keyframes.values()
+                if client_id is None or kf.client_id == client_id
+            ),
+            key=lambda kf: kf.timestamp,
+        )
+        points = []
+        last_t = None
+        for kf in kfs:
+            if last_t is not None and kf.timestamp <= last_t:
+                continue
+            pose_wc = kf.pose_cw.inverse()
+            points.append(
+                TrajectoryPoint(
+                    kf.timestamp,
+                    pose_wc.translation,
+                    quaternion.from_matrix(pose_wc.rotation),
+                )
+            )
+            last_t = kf.timestamp
+        return Trajectory(points)
+
+    def apply_transform_to_client(self, transform, client_id: int) -> None:
+        """Apply a Sim3 to every keyframe/point a client contributed.
+
+        Used by map merging (Alg. 2 line 10-12) to snap a client map into
+        the global frame.
+        """
+        for point in self.mappoints.values():
+            if point.client_id == client_id:
+                point.position = transform.apply(point.position)
+        for kf in self.keyframes.values():
+            if kf.client_id == client_id:
+                kf.pose_cw = transform.transform_pose(kf.pose_cw)
+
+    def detach_client(self, client_id: int) -> None:
+        """Remove a client's entities without mutating the shared objects.
+
+        Used to roll back a failed merge attempt: the keyframes and map
+        points are also referenced by the client's own map, so the
+        normal removal path (which clears observations in place) would
+        corrupt the client's state.
+        """
+        kf_ids = [
+            kf_id for kf_id, kf in self.keyframes.items() if kf.client_id == client_id
+        ]
+        for kf_id in kf_ids:
+            del self.keyframes[kf_id]
+            if self.covisibility.has_node(kf_id):
+                self.covisibility.remove_node(kf_id)
+        point_ids = [
+            pid for pid, p in self.mappoints.items() if p.client_id == client_id
+        ]
+        for pid in point_ids:
+            del self.mappoints[pid]
+
+    def nbytes(self) -> int:
+        """Approximate total footprint (Table 1 map-size accounting)."""
+        return sum(kf.nbytes() for kf in self.keyframes.values()) + sum(
+            p.nbytes() for p in self.mappoints.values()
+        )
+
+    def summary(self) -> str:
+        return (
+            f"SlamMap(id={self.map_id}, keyframes={self.n_keyframes}, "
+            f"mappoints={self.n_mappoints}, ~{self.nbytes() / 1e6:.2f} MB)"
+        )

@@ -1,0 +1,52 @@
+"""Map points: triangulated 3-D landmarks owned by a map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class MapPoint:
+    """A 3-D landmark with its representative descriptor and observations.
+
+    ``observations`` maps keyframe id -> feature index within that
+    keyframe.  ``client_id`` records which client first created the
+    point; SLAM-Share's merge keeps ids from different clients disjoint
+    by construction (per-client id offsets, §4.3.1).
+    """
+
+    point_id: int
+    position: np.ndarray
+    descriptor: np.ndarray
+    client_id: int = 0
+    observations: Dict[int, int] = field(default_factory=dict)
+    times_visible: int = 1
+    times_found: int = 1
+    is_bad: bool = False
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float).reshape(3)
+        self.descriptor = np.asarray(self.descriptor, dtype=np.uint8)
+
+    @property
+    def n_observations(self) -> int:
+        return len(self.observations)
+
+    def add_observation(self, keyframe_id: int, feature_idx: int) -> None:
+        self.observations[keyframe_id] = int(feature_idx)
+
+    def remove_observation(self, keyframe_id: int) -> None:
+        self.observations.pop(keyframe_id, None)
+
+    def found_ratio(self) -> float:
+        """Fraction of the frames that should have seen the point that did."""
+        if self.times_visible == 0:
+            return 0.0
+        return self.times_found / self.times_visible
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint (used for Table 1 accounting)."""
+        return 8 + 3 * 8 + self.descriptor.nbytes + 16 * len(self.observations) + 24

@@ -1,0 +1,214 @@
+"""Multi-client map merging (the paper's Algorithm 2).
+
+Given a client map and the global map, the merger:
+
+1. inserts the client's keyframes and map points into the global map
+   (id collisions are impossible — per-client id ranges, §4.3.1);
+2. iterates over **all** the client's keyframes (unlike vanilla
+   ORB-SLAM3, which only checks the newest active keyframe — the
+   paper's key modification for late-joining clients) running
+   ``DetectCommonRegion`` against the global BoW database;
+3. on a hit, matches features between the client keyframe and the
+   candidate global keyframe, producing 3D-3D map-point
+   correspondences, and robustly estimates the aligning Sim(3);
+4. applies the transform to every entity the client contributed, fuses
+   duplicate map points, and runs a local bundle adjustment around the
+   weld (lines 13-15 of Alg. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry import Sim3, ransac_umeyama
+from ..vision.camera import PinholeCamera
+from ..vision.matching import match_descriptors
+from .bow import KeyframeDatabase
+from .bundle_adjustment import BAStats, local_bundle_adjustment
+from .keyframe import KeyFrame
+from .map import SlamMap
+from .place_recognition import detect_common_region
+
+
+@dataclass
+class MergeResult:
+    success: bool
+    transform: Optional[Sim3] = None
+    merge_keyframe_id: Optional[int] = None      # client KF that matched
+    anchor_keyframe_id: Optional[int] = None     # global KF it matched against
+    n_correspondences: int = 0
+    n_fused_points: int = 0
+    n_keyframes_checked: int = 0
+    ba_stats: Optional[BAStats] = None
+
+
+@dataclass
+class MergerConfig:
+    min_bow_score: float = 0.08
+    min_correspondences: int = 8
+    ransac_inlier_threshold: float = 0.35
+    fuse_descriptor_distance: int = 64
+    ba_iterations: int = 2
+    check_all_keyframes: bool = True   # False models vanilla ORB-SLAM3
+    with_scale: bool = True            # Sim3 for mono, SE3 for stereo/inertial
+
+
+class MapMerger:
+    """Implements Alg. 2 over a global map and its BoW database."""
+
+    def __init__(
+        self,
+        global_map: SlamMap,
+        database: KeyframeDatabase,
+        camera: PinholeCamera,
+        config: Optional[MergerConfig] = None,
+        seed: int = 99,
+    ) -> None:
+        self.map = global_map
+        self.database = database
+        self.camera = camera
+        self.config = config or MergerConfig()
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------ ingestion
+    def ingest_client_map(self, client_map: SlamMap) -> None:
+        """Copy a client map's entities into the global map (lines 2-5).
+
+        In SLAM-Share proper the client process wrote them into shared
+        memory already; this path serves the baseline (deserialized
+        maps) and late joiners shipping an existing map.
+        """
+        for point in client_map.mappoints.values():
+            if point.point_id not in self.map.mappoints:
+                self.map.add_mappoint(point)
+        for kf in sorted(client_map.keyframes.values(), key=lambda k: k.timestamp):
+            if kf.keyframe_id not in self.map.keyframes:
+                self.map.add_keyframe(kf)
+                self.database.add(kf.keyframe_id, kf.bow_vector)
+
+    # ------------------------------------------------------- correspondences
+    def _correspondences(
+        self, client_kf: KeyFrame, global_kf: KeyFrame
+    ) -> Tuple[np.ndarray, np.ndarray, List[Tuple[int, int]]]:
+        """3D-3D point pairs via descriptor matches between two keyframes."""
+        matches = match_descriptors(
+            client_kf.descriptors,
+            global_kf.descriptors,
+            max_distance=self.config.fuse_descriptor_distance,
+        )
+        src, dst, id_pairs = [], [], []
+        for m in matches:
+            pid_c = int(client_kf.point_ids[m.query_idx])
+            pid_g = int(global_kf.point_ids[m.train_idx])
+            if pid_c < 0 or pid_g < 0 or pid_c == pid_g:
+                continue
+            pc = self.map.mappoints.get(pid_c)
+            pg = self.map.mappoints.get(pid_g)
+            if pc is None or pg is None:
+                continue
+            src.append(pc.position)
+            dst.append(pg.position)
+            id_pairs.append((pid_c, pid_g))
+        if not src:
+            return np.zeros((0, 3)), np.zeros((0, 3)), []
+        return np.array(src), np.array(dst), id_pairs
+
+    # ----------------------------------------------------------------- merge
+    def merge_client(self, client_id: int) -> MergeResult:
+        """Align one client's entities already present in the global map.
+
+        This is the SLAM-Share shared-memory path: the client's process
+        wrote its keyframes/points directly into the global map; merging
+        only needs to find the weld and snap the client's submap onto it.
+        """
+        cfg = self.config
+        client_kfs = sorted(
+            self.map.keyframes_of_client(client_id), key=lambda kf: kf.timestamp
+        )
+        if not cfg.check_all_keyframes:
+            client_kfs = client_kfs[-1:]
+        checked = 0
+        for kf in client_kfs:
+            checked += 1
+            region = detect_common_region(
+                kf,
+                self.map,
+                self.database,
+                min_score=cfg.min_bow_score,
+                exclude_client=client_id,
+            )
+            if not region:
+                continue
+            for candidate in region.candidates:
+                global_kf = self.map.keyframes[candidate.keyframe_id]
+                src, dst, id_pairs = self._correspondences(kf, global_kf)
+                if len(src) < cfg.min_correspondences:
+                    continue
+                transform, mask = ransac_umeyama(
+                    src,
+                    dst,
+                    self._rng,
+                    with_scale=cfg.with_scale,
+                    inlier_threshold=cfg.ransac_inlier_threshold,
+                    min_inliers=cfg.min_correspondences,
+                )
+                if transform is None:
+                    continue
+                return self._apply_merge(
+                    client_id, kf, global_kf, transform, id_pairs, mask, checked
+                )
+        return MergeResult(success=False, n_keyframes_checked=checked)
+
+    def merge_maps(self, client_map: SlamMap, client_id: int) -> MergeResult:
+        """Baseline path: ingest a detached map, then align it (full Alg. 2)."""
+        self.ingest_client_map(client_map)
+        return self.merge_client(client_id)
+
+    def _apply_merge(
+        self,
+        client_id: int,
+        client_kf: KeyFrame,
+        global_kf: KeyFrame,
+        transform: Sim3,
+        id_pairs: List[Tuple[int, int]],
+        inlier_mask: np.ndarray,
+        checked: int,
+    ) -> MergeResult:
+        # Lines 10-12: snap every client entity into the global frame.
+        self.map.apply_transform_to_client(transform, client_id)
+        # Fuse duplicate landmarks: the client's matched points are
+        # replaced by their global counterparts.
+        fused = 0
+        for (pid_c, pid_g), inlier in zip(id_pairs, inlier_mask):
+            if not inlier:
+                continue
+            self.map.replace_mappoint(pid_c, pid_g)
+            fused += 1
+        self.map.rebuild_covisibility()
+        # Lines 13-15: weld-local bundle adjustment.
+        window = (
+            [client_kf.keyframe_id, global_kf.keyframe_id]
+            + self.map.covisible_keyframes(global_kf.keyframe_id)[:4]
+            + self.map.covisible_keyframes(client_kf.keyframe_id)[:4]
+        )
+        window = [k for k in dict.fromkeys(window) if k in self.map.keyframes]
+        ba_stats = local_bundle_adjustment(
+            self.map,
+            self.camera,
+            window,
+            fixed_keyframe_ids={global_kf.keyframe_id},
+            iterations=self.config.ba_iterations,
+        )
+        return MergeResult(
+            success=True,
+            transform=transform,
+            merge_keyframe_id=client_kf.keyframe_id,
+            anchor_keyframe_id=global_kf.keyframe_id,
+            n_correspondences=len(id_pairs),
+            n_fused_points=fused,
+            n_keyframes_checked=checked,
+            ba_stats=ba_stats,
+        )

@@ -1,0 +1,164 @@
+"""Pose-graph (essential-graph) optimization.
+
+After a loop closure or a map merge, ORB-SLAM3 distributes the loop
+correction over the keyframe graph by optimizing relative-pose
+constraints (the *essential graph*: covisibility edges above a weight
+threshold plus loop edges).  We implement the standard Gauss-Newton
+pose-graph optimizer over SE(3) with the residual
+
+    r_ij = log( T_ij_measured^-1 * (T_i * T_j^-1) )
+
+where T_i are world->camera poses and T_ij_measured the relative poses
+captured when the edge was created.  Map points are then corrected by
+re-expressing them relative to their anchor keyframe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..geometry import SE3
+from .map import SlamMap
+
+MIN_ESSENTIAL_WEIGHT = 20  # covisibility weight for essential-graph edges
+
+
+@dataclass
+class PoseGraphEdge:
+    """A relative-pose constraint between two keyframes."""
+
+    kf_a: int
+    kf_b: int
+    relative: SE3          # T_a * T_b^-1 at edge creation
+    weight: float = 1.0
+    is_loop_edge: bool = False
+
+
+@dataclass
+class PoseGraphStats:
+    iterations: int
+    initial_residual: float
+    final_residual: float
+    n_edges: int
+    n_poses: int
+
+
+def build_essential_graph(
+    slam_map: SlamMap,
+    min_weight: int = MIN_ESSENTIAL_WEIGHT,
+    extra_edges: Optional[List[PoseGraphEdge]] = None,
+) -> List[PoseGraphEdge]:
+    """Covisibility edges above the weight threshold, plus sequential
+    odometry edges (so the graph stays connected) and any loop edges."""
+    edges: List[PoseGraphEdge] = []
+    seen: Set[Tuple[int, int]] = set()
+
+    def add(kf_a: int, kf_b: int, weight: float, loop: bool = False) -> None:
+        key = (min(kf_a, kf_b), max(kf_a, kf_b))
+        if key in seen or kf_a == kf_b:
+            return
+        pose_a = slam_map.keyframes[kf_a].pose_cw
+        pose_b = slam_map.keyframes[kf_b].pose_cw
+        edges.append(
+            PoseGraphEdge(kf_a, kf_b, pose_a * pose_b.inverse(), weight, loop)
+        )
+        seen.add(key)
+
+    ordered = sorted(slam_map.keyframes)
+    for a, b in zip(ordered, ordered[1:]):
+        add(a, b, weight=float(MIN_ESSENTIAL_WEIGHT))
+    for kf_a, kf_b, data in slam_map.covisibility.edges(data=True):
+        if data.get("weight", 0) >= min_weight:
+            add(kf_a, kf_b, weight=float(data["weight"]))
+    for edge in extra_edges or []:
+        key = (min(edge.kf_a, edge.kf_b), max(edge.kf_a, edge.kf_b))
+        if key not in seen:
+            edges.append(edge)
+            seen.add(key)
+    return edges
+
+
+def _total_residual(poses: Dict[int, SE3], edges: List[PoseGraphEdge]) -> float:
+    total = 0.0
+    for edge in edges:
+        delta = edge.relative.inverse() * (
+            poses[edge.kf_a] * poses[edge.kf_b].inverse()
+        )
+        total += float(edge.weight) * float(np.sum(delta.log() ** 2))
+    return total
+
+
+def optimize_pose_graph(
+    slam_map: SlamMap,
+    edges: List[PoseGraphEdge],
+    fixed: Optional[Set[int]] = None,
+    iterations: int = 12,
+    step_scale: float = 0.7,
+) -> PoseGraphStats:
+    """Distribute corrections over the graph by damped Gauss-Seidel.
+
+    Each sweep updates every free pose toward the weighted average of
+    what its neighbours' constraints predict for it — the standard
+    relaxation solver for pose graphs (slower than sparse GN but
+    dependency-free and robust).  Map points follow their anchor
+    keyframe's correction.
+    """
+    fixed = set(fixed or ())
+    poses: Dict[int, SE3] = {
+        kf_id: kf.pose_cw for kf_id, kf in slam_map.keyframes.items()
+    }
+    old_poses = dict(poses)
+    by_node: Dict[int, List[Tuple[PoseGraphEdge, bool]]] = {}
+    for edge in edges:
+        if edge.kf_a not in poses or edge.kf_b not in poses:
+            continue
+        by_node.setdefault(edge.kf_a, []).append((edge, True))
+        by_node.setdefault(edge.kf_b, []).append((edge, False))
+
+    initial = _total_residual(poses, edges)
+    for _ in range(iterations):
+        for node, node_edges in by_node.items():
+            if node in fixed:
+                continue
+            twist_sum = np.zeros(6)
+            weight_sum = 0.0
+            for edge, node_is_a in node_edges:
+                if node_is_a:
+                    # Predicted pose of a: T_ab_meas * T_b.
+                    predicted = edge.relative * poses[edge.kf_b]
+                else:
+                    predicted = edge.relative.inverse() * poses[edge.kf_a]
+                delta = predicted * poses[node].inverse()
+                twist_sum += edge.weight * delta.log()
+                weight_sum += edge.weight
+            if weight_sum > 0:
+                step = step_scale * twist_sum / weight_sum
+                poses[node] = SE3.exp(step) * poses[node]
+    final = _total_residual(poses, edges)
+
+    # Write poses back and drag each map point with its anchor keyframe.
+    corrections: Dict[int, SE3] = {}
+    for kf_id, new_pose in poses.items():
+        corrections[kf_id] = new_pose.inverse() * old_poses[kf_id]
+        slam_map.keyframes[kf_id].pose_cw = new_pose
+    for point in slam_map.mappoints.values():
+        anchor = None
+        for kf_id in point.observations:
+            if kf_id in corrections:
+                anchor = kf_id
+                break
+        if anchor is None:
+            continue
+        # x_w' = T_new^-1 * T_old * x_w keeps the point rigid w.r.t. its
+        # anchor camera.
+        point.position = corrections[anchor].apply(point.position)
+    return PoseGraphStats(
+        iterations=iterations,
+        initial_residual=initial,
+        final_residual=final,
+        n_edges=len(edges),
+        n_poses=len(poses),
+    )

@@ -1,0 +1,121 @@
+"""Relocalization: recover a lost tracker via place recognition.
+
+When tracking loses the map (occlusion, aggressive motion, long network
+outage past what the IMU can bridge), ORB-SLAM3 queries the keyframe
+database with the current frame's BoW vector, matches descriptors
+against the candidates' map points, and solves a RANSAC PnP without any
+pose prior.  Successful relocalization re-seeds the motion model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry import SE3
+from ..vision.camera import PinholeCamera
+from ..vision.matching import match_descriptors
+from .bow import KeyframeDatabase, Vocabulary
+from .frame import Frame
+from .map import SlamMap
+from .pnp import PnPResult, solve_pnp, solve_pnp_ransac
+
+
+@dataclass
+class RelocalizationResult:
+    success: bool
+    pose_cw: Optional[SE3] = None
+    anchor_keyframe_id: Optional[int] = None
+    n_inliers: int = 0
+    n_candidates_tried: int = 0
+
+
+@dataclass
+class RelocalizerConfig:
+    min_bow_score: float = 0.05
+    max_candidates: int = 5
+    min_matches: int = 15
+    min_inliers: int = 12
+    descriptor_max_distance: int = 64
+
+
+class Relocalizer:
+    """BoW-seeded pose recovery against a map."""
+
+    def __init__(
+        self,
+        slam_map: SlamMap,
+        database: KeyframeDatabase,
+        vocabulary: Vocabulary,
+        camera: PinholeCamera,
+        config: Optional[RelocalizerConfig] = None,
+        seed: int = 17,
+    ) -> None:
+        self.map = slam_map
+        self.database = database
+        self.vocabulary = vocabulary
+        self.camera = camera
+        self.config = config or RelocalizerConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def relocalize(self, frame: Frame) -> RelocalizationResult:
+        """Attempt to localize a frame with no pose prior."""
+        cfg = self.config
+        if len(frame) < cfg.min_matches:
+            return RelocalizationResult(False)
+        bow = self.vocabulary.transform(frame.descriptors)
+        candidates = self.database.query(
+            bow, min_score=cfg.min_bow_score, max_results=cfg.max_candidates
+        )
+        tried = 0
+        for candidate in candidates:
+            keyframe = self.map.keyframes.get(candidate.keyframe_id)
+            if keyframe is None:
+                continue
+            tried += 1
+            matches = match_descriptors(
+                frame.descriptors,
+                keyframe.descriptors,
+                max_distance=cfg.descriptor_max_distance,
+            )
+            pts_w: List[np.ndarray] = []
+            uv: List[np.ndarray] = []
+            feat_of_match: List[int] = []
+            point_of_match: List[int] = []
+            for m in matches:
+                pid = int(keyframe.point_ids[m.train_idx])
+                point = self.map.mappoints.get(pid) if pid >= 0 else None
+                if point is None or point.is_bad:
+                    continue
+                pts_w.append(point.position)
+                uv.append(frame.uv[m.query_idx])
+                feat_of_match.append(m.query_idx)
+                point_of_match.append(pid)
+            if len(pts_w) < cfg.min_matches:
+                continue
+            # No prior: seed RANSAC hypotheses from the anchor keyframe's
+            # pose (the camera saw the same place from *somewhere* nearby).
+            result = solve_pnp_ransac(
+                np.array(pts_w),
+                np.array(uv),
+                self.camera,
+                keyframe.pose_cw,
+                self._rng,
+                min_inliers=cfg.min_inliers,
+            )
+            if result is None:
+                continue
+            frame.pose_cw = result.pose_cw
+            for idx, inlier in zip(range(len(feat_of_match)), result.inliers):
+                if inlier:
+                    frame.matched_point_ids[feat_of_match[idx]] = point_of_match[idx]
+            return RelocalizationResult(
+                success=True,
+                pose_cw=result.pose_cw,
+                anchor_keyframe_id=keyframe.keyframe_id,
+                n_inliers=result.n_inliers,
+                n_candidates_tried=tried,
+            )
+        return RelocalizationResult(False, n_candidates_tried=tried)

@@ -1,0 +1,201 @@
+"""Tracking frontend: motion model, local-map search and pose solve.
+
+Mirrors the ORB-SLAM3 tracking thread (paper Fig. 3 "Local Tracking"):
+
+1. predict the pose with a constant-velocity motion model (or an
+   externally supplied prior, e.g. the client IMU pose in SLAM-Share),
+2. project the local map into the frame and match (*search local
+   points* — the stage the paper parallelizes on the GPU),
+3. optimize the pose on the matches (PnP Gauss-Newton).
+
+Every call reports a :class:`TrackingWorkload` with the operation counts
+(pixels, candidate pairs, iterations) that the GPU/CPU latency models in
+:mod:`repro.gpu` convert into the per-stage times of Figs. 5 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geometry import SE3
+from ..vision.camera import PinholeCamera
+from ..vision.matching import (
+    Match,
+    search_by_projection_scalar,
+    search_by_projection_vectorized,
+)
+from .frame import Frame
+from .map import SlamMap
+from .pnp import solve_pnp
+
+
+@dataclass
+class TrackingWorkload:
+    """Operation counts for one tracked frame (drives latency models)."""
+
+    image_pixels: int = 0           # pixels scanned by feature extraction
+    n_features: int = 0             # features extracted in the frame
+    n_local_points: int = 0         # local-map points considered
+    candidate_pairs: int = 0        # point x feature pairs evaluated
+    pnp_iterations: int = 0
+    n_matches: int = 0
+
+
+@dataclass
+class TrackingResult:
+    frame: Frame
+    success: bool
+    n_matches: int
+    mean_error_px: float
+    workload: TrackingWorkload = field(default_factory=TrackingWorkload)
+
+
+@dataclass
+class TrackerConfig:
+    search_radius_px: float = 10.0
+    wide_search_radius_px: float = 30.0
+    min_matches: int = 12
+    local_map_size: int = 600
+    covisible_neighbors: int = 10
+    image_pixels: int = 752 * 480   # EuRoC-sized frames, for latency accounting
+
+
+class Tracker:
+    """Tracks successive frames against a map."""
+
+    def __init__(
+        self,
+        slam_map: SlamMap,
+        camera: PinholeCamera,
+        config: Optional[TrackerConfig] = None,
+        backend: str = "vectorized",
+    ) -> None:
+        self.map = slam_map
+        self.camera = camera
+        self.config = config or TrackerConfig()
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.last_pose: Optional[SE3] = None
+        self.velocity: SE3 = SE3.identity()
+        self.reference_keyframe_id: Optional[int] = None
+
+    # ------------------------------------------------------------- predict
+    def predict_pose(self) -> Optional[SE3]:
+        """Constant-velocity prediction from the last two tracked poses."""
+        if self.last_pose is None:
+            return None
+        return self.velocity * self.last_pose
+
+    def _update_motion_model(self, new_pose: SE3) -> None:
+        if self.last_pose is not None:
+            self.velocity = new_pose * self.last_pose.inverse()
+        self.last_pose = new_pose
+
+    # ---------------------------------------------------------- local map
+    def _local_map(self) -> List:
+        """Points observed by the reference keyframe and its neighbors."""
+        if self.reference_keyframe_id is None:
+            return []
+        kf_ids = [self.reference_keyframe_id]
+        kf_ids += self.map.covisible_keyframes(self.reference_keyframe_id)[
+            : self.config.covisible_neighbors
+        ]
+        return self.map.local_map_points(kf_ids, limit=self.config.local_map_size)
+
+    def _search(self, points, frame: Frame, pose: SE3, radius: float):
+        """Project local points and match against frame features."""
+        positions = np.array([p.position for p in points])
+        uv, _, valid = self.camera.project_world(positions, pose)
+        visible_idx = np.nonzero(valid)[0]
+        if len(visible_idx) == 0:
+            return [], 0
+        proj_uv = uv[visible_idx]
+        descriptors = np.stack([points[i].descriptor for i in visible_idx])
+        search = (
+            search_by_projection_vectorized
+            if self.backend == "vectorized"
+            else search_by_projection_scalar
+        )
+        matches = search(proj_uv, descriptors, frame.uv, frame.descriptors,
+                         radius=radius)
+        # Re-index matches back to the full candidate list.
+        remapped = [Match(int(visible_idx[m.query_idx]), m.train_idx, m.distance)
+                    for m in matches]
+        return remapped, len(visible_idx) * len(frame)
+
+    # ---------------------------------------------------------------- track
+    def track(self, frame: Frame, pose_prior: Optional[SE3] = None) -> TrackingResult:
+        """Track one frame; sets ``frame.pose_cw`` on success."""
+        cfg = self.config
+        workload = TrackingWorkload(
+            image_pixels=cfg.image_pixels, n_features=len(frame)
+        )
+        prior = pose_prior if pose_prior is not None else self.predict_pose()
+        if prior is None:
+            return TrackingResult(frame, False, 0, float("inf"), workload)
+        points = self._local_map()
+        workload.n_local_points = len(points)
+        if len(points) < 4:
+            return TrackingResult(frame, False, 0, float("inf"), workload)
+
+        matches, pairs = self._search(points, frame, prior, cfg.search_radius_px)
+        workload.candidate_pairs += pairs
+        if len(matches) < cfg.min_matches:
+            # Wide-window retry: the prior may be poor (high RTT, fast turn).
+            matches, pairs = self._search(
+                points, frame, prior, cfg.wide_search_radius_px
+            )
+            workload.candidate_pairs += pairs
+        if len(matches) < 4:
+            return TrackingResult(frame, False, len(matches), float("inf"), workload)
+
+        pts_w = np.array([points[m.query_idx].position for m in matches])
+        uv = np.array([frame.uv[m.train_idx] for m in matches])
+        depths = np.array([frame.depths[m.train_idx] for m in matches])
+        result = solve_pnp(pts_w, uv, self.camera, prior, depths=depths)
+        if result.n_inliers >= 4:
+            # Second round: re-associate with the *refined* pose and
+            # re-optimize (ORB-SLAM3's TrackLocalMap after
+            # TrackWithMotionModel).  Matching around the prior alone
+            # biases the correspondence set toward the prior's error —
+            # that bias compounds through the motion model and blows up
+            # within a few tens of frames.
+            matches2, pairs2 = self._search(
+                points, frame, result.pose_cw, cfg.search_radius_px * 0.8
+            )
+            workload.candidate_pairs += pairs2
+            if len(matches2) >= 4:
+                matches = matches2
+                pts_w = np.array([points[m.query_idx].position for m in matches])
+                uv = np.array([frame.uv[m.train_idx] for m in matches])
+                depths = np.array([frame.depths[m.train_idx] for m in matches])
+                result = solve_pnp(
+                    pts_w, uv, self.camera, result.pose_cw, depths=depths
+                )
+        workload.pnp_iterations = result.iterations
+        if result.n_inliers < cfg.min_matches:
+            return TrackingResult(
+                frame, False, result.n_inliers, result.mean_error_px, workload
+            )
+
+        frame.pose_cw = result.pose_cw
+        for m, inlier in zip(matches, result.inliers):
+            point = points[m.query_idx]
+            point.times_visible += 1
+            if inlier:
+                frame.matched_point_ids[m.train_idx] = point.point_id
+                point.times_found += 1
+        workload.n_matches = result.n_inliers
+        self._update_motion_model(result.pose_cw)
+        return TrackingResult(
+            frame, True, result.n_inliers, result.mean_error_px, workload
+        )
+
+    def force_pose(self, pose: SE3) -> None:
+        """Seed the motion model (bootstrap or after relocalization)."""
+        self.last_pose = pose
+        self.velocity = SE3.identity()

@@ -1,0 +1,55 @@
+"""Vision substrate: cameras, images, ORB features and matching."""
+
+from .brief import (
+    DESCRIPTOR_BITS,
+    DESCRIPTOR_BYTES,
+    compute_descriptor,
+    hamming_distance,
+    hamming_distance_matrix,
+    perturb_descriptor,
+    random_descriptor,
+)
+from .camera import PinholeCamera, StereoRig
+from .fast import Keypoint, detect_fast_scalar, detect_fast_vectorized
+from .image import Image, ImagePyramid
+from .matching import (
+    Match,
+    match_descriptors,
+    search_by_projection_scalar,
+    search_by_projection_vectorized,
+)
+from .orb import FeatureSet, OrbExtractor, OrbExtractorConfig
+from .render import DescriptorBank, FeatureOracle, ObservedFeature, render_frame
+from .stereo import StereoMatch, StereoMatcher, StereoMatcherConfig, render_stereo_pair
+
+__all__ = [
+    "DESCRIPTOR_BITS",
+    "DESCRIPTOR_BYTES",
+    "DescriptorBank",
+    "FeatureOracle",
+    "FeatureSet",
+    "Image",
+    "ImagePyramid",
+    "Keypoint",
+    "Match",
+    "ObservedFeature",
+    "OrbExtractor",
+    "OrbExtractorConfig",
+    "PinholeCamera",
+    "StereoMatch",
+    "StereoMatcher",
+    "StereoMatcherConfig",
+    "StereoRig",
+    "compute_descriptor",
+    "detect_fast_scalar",
+    "detect_fast_vectorized",
+    "hamming_distance",
+    "hamming_distance_matrix",
+    "match_descriptors",
+    "perturb_descriptor",
+    "random_descriptor",
+    "render_frame",
+    "render_stereo_pair",
+    "search_by_projection_scalar",
+    "search_by_projection_vectorized",
+]

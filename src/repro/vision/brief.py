@@ -1,0 +1,129 @@
+"""rBRIEF binary descriptors (rotation-steered BRIEF).
+
+A descriptor is 256 intensity comparisons between pixel pairs sampled in
+a patch around the keypoint; each comparison yields one bit.  For
+rotation invariance the sampling pattern is rotated by the keypoint's
+intensity-centroid orientation before the comparisons are made, as in
+the original ORB paper.
+
+Descriptors are stored packed as ``(32,)`` uint8 arrays; Hamming
+distances are computed with a precomputed popcount table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .fast import Keypoint
+
+DESCRIPTOR_BITS = 256
+DESCRIPTOR_BYTES = DESCRIPTOR_BITS // 8
+PATCH_RADIUS = 15
+
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def sampling_pattern(rng_seed: int = 0xB12F) -> np.ndarray:
+    """The fixed (learned-offline stand-in) BRIEF test pattern.
+
+    Returns an ``(256, 4)`` int array of ``(y1, x1, y2, x2)`` offsets
+    drawn from a clipped Gaussian, the classic BRIEF-G II distribution.
+    The pattern is deterministic: every extractor instance in every
+    process uses the same tests, which is what makes descriptors
+    comparable across clients and across the server processes.
+    """
+    rng = np.random.default_rng(rng_seed)
+    sigma = PATCH_RADIUS / 2.5
+    pattern = rng.normal(scale=sigma, size=(DESCRIPTOR_BITS, 4))
+    return np.clip(np.round(pattern), -PATCH_RADIUS + 1, PATCH_RADIUS - 1).astype(np.int32)
+
+
+_PATTERN = sampling_pattern()
+
+
+def intensity_centroid_angle(pixels: np.ndarray, u: float, v: float,
+                             radius: int = 7) -> float:
+    """Orientation of the patch by the intensity-centroid method (radians)."""
+    h, w = pixels.shape
+    ui, vi = int(round(u)), int(round(v))
+    y0, y1 = max(vi - radius, 0), min(vi + radius + 1, h)
+    x0, x1 = max(ui - radius, 0), min(ui + radius + 1, w)
+    patch = pixels[y0:y1, x0:x1].astype(np.float64)
+    ys = np.arange(y0, y1)[:, None] - vi
+    xs = np.arange(x0, x1)[None, :] - ui
+    m01 = float((patch * ys).sum())
+    m10 = float((patch * xs).sum())
+    return float(np.arctan2(m01, m10))
+
+
+def compute_descriptor(
+    pixels: np.ndarray, keypoint: Keypoint, angle: Optional[float] = None
+) -> Optional[np.ndarray]:
+    """Compute one packed rBRIEF descriptor, or None near the border."""
+    h, w = pixels.shape
+    u, v = keypoint.u, keypoint.v
+    margin = PATCH_RADIUS + 2
+    if not (margin <= u < w - margin and margin <= v < h - margin):
+        return None
+    if angle is None:
+        angle = intensity_centroid_angle(pixels, u, v)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    # Rotate the whole test pattern by the patch orientation.
+    y1 = _PATTERN[:, 0] * cos_a + _PATTERN[:, 1] * sin_a
+    x1 = -_PATTERN[:, 0] * sin_a + _PATTERN[:, 1] * cos_a
+    y2 = _PATTERN[:, 2] * cos_a + _PATTERN[:, 3] * sin_a
+    x2 = -_PATTERN[:, 2] * sin_a + _PATTERN[:, 3] * cos_a
+    p1 = pixels[
+        np.clip(np.round(v + y1).astype(int), 0, h - 1),
+        np.clip(np.round(u + x1).astype(int), 0, w - 1),
+    ]
+    p2 = pixels[
+        np.clip(np.round(v + y2).astype(int), 0, h - 1),
+        np.clip(np.round(u + x2).astype(int), 0, w - 1),
+    ]
+    bits = (p1 < p2).astype(np.uint8)
+    return np.packbits(bits)
+
+
+def hamming_distance(desc_a: np.ndarray, desc_b: np.ndarray) -> int:
+    """Number of differing bits between two packed descriptors."""
+    return int(_POPCOUNT[np.bitwise_xor(desc_a, desc_b)].sum())
+
+
+def hamming_distance_matrix(set_a: np.ndarray, set_b: np.ndarray) -> np.ndarray:
+    """All-pairs Hamming distances between two descriptor stacks.
+
+    ``set_a`` is ``(m, 32)`` and ``set_b`` is ``(n, 32)``; the result is
+    an ``(m, n)`` int matrix.  This is the data-parallel form used by
+    the GPU matching kernel.
+    """
+    set_a = np.atleast_2d(set_a)
+    set_b = np.atleast_2d(set_b)
+    xor = np.bitwise_xor(set_a[:, None, :], set_b[None, :, :])
+    return _POPCOUNT[xor].sum(axis=2).astype(np.int32)
+
+
+def random_descriptor(rng: np.random.Generator) -> np.ndarray:
+    """Draw a uniformly random packed descriptor (for synthetic features)."""
+    return rng.integers(0, 256, size=DESCRIPTOR_BYTES, dtype=np.uint8)
+
+
+def perturb_descriptor(
+    descriptor: np.ndarray, rng: np.random.Generator, flip_bits: int
+) -> np.ndarray:
+    """Flip ``flip_bits`` random bits — models viewpoint/noise variation."""
+    if flip_bits <= 0:
+        return descriptor.copy()
+    bits = np.unpackbits(descriptor)
+    idx = rng.choice(bits.size, size=min(flip_bits, bits.size), replace=False)
+    bits[idx] ^= 1
+    return np.packbits(bits)
+
+
+def descriptors_to_matrix(descriptors: List[np.ndarray]) -> np.ndarray:
+    """Stack a list of packed descriptors into an ``(n, 32)`` matrix."""
+    if not descriptors:
+        return np.zeros((0, DESCRIPTOR_BYTES), dtype=np.uint8)
+    return np.stack(descriptors).astype(np.uint8)

@@ -1,0 +1,159 @@
+"""FAST-9/16 corner detection.
+
+Two implementations of the same detector live here:
+
+* :func:`detect_fast_scalar` — a straightforward per-pixel loop, the
+  "CPU sequential" reference (this is what the default ORB-SLAM3 path
+  models in the paper's Fig. 5).
+* :func:`detect_fast_vectorized` — a fully data-parallel numpy
+  formulation operating on whole-image shifted views.  This is the
+  "GPU kernel" of §4.2.1: every pixel's segment test is independent,
+  which is exactly the parallelism SLAM-Share exploits on the GPU.
+
+Both return identical results; tests assert this equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+# Bresenham circle of radius 3: 16 (dy, dx) offsets in ring order.
+CIRCLE_OFFSETS = np.array(
+    [
+        (-3, 0), (-3, 1), (-2, 2), (-1, 3),
+        (0, 3), (1, 3), (2, 2), (3, 1),
+        (3, 0), (3, -1), (2, -2), (1, -3),
+        (0, -3), (-1, -3), (-2, -2), (-3, -1),
+    ]
+)
+
+ARC_LENGTH = 9  # FAST-9: nine contiguous ring pixels
+BORDER = 3
+
+
+@dataclass
+class Keypoint:
+    """A detected corner: level-0 pixel position, response and scale level."""
+
+    u: float
+    v: float
+    response: float
+    level: int = 0
+    angle: float = 0.0
+
+
+def _ring_values_scalar(pixels: np.ndarray, v: int, u: int) -> np.ndarray:
+    return np.array(
+        [int(pixels[v + dy, u + dx]) for dy, dx in CIRCLE_OFFSETS], dtype=np.int32
+    )
+
+
+def _has_arc(flags: np.ndarray, arc: int) -> bool:
+    """Check for ``arc`` contiguous True values on the circular ring."""
+    doubled = np.concatenate([flags, flags])
+    run = 0
+    for value in doubled:
+        run = run + 1 if value else 0
+        if run >= arc:
+            return True
+    return False
+
+
+def detect_fast_scalar(
+    pixels: np.ndarray, threshold: int = 20, nonmax: bool = True
+) -> List[Keypoint]:
+    """Reference (sequential) FAST-9 detector."""
+    pixels = np.asarray(pixels)
+    h, w = pixels.shape
+    scores = np.zeros((h, w), dtype=np.float32)
+    for v in range(BORDER, h - BORDER):
+        for u in range(BORDER, w - BORDER):
+            center = int(pixels[v, u])
+            ring = _ring_values_scalar(pixels, v, u)
+            brighter = ring > center + threshold
+            darker = ring < center - threshold
+            if _has_arc(brighter, ARC_LENGTH) or _has_arc(darker, ARC_LENGTH):
+                scores[v, u] = float(np.abs(ring - center).sum())
+    return _collect_keypoints(scores, nonmax)
+
+
+def _ring_stack(pixels: np.ndarray) -> np.ndarray:
+    """Stack the 16 ring-shifted copies of the interior of the image.
+
+    Output shape is ``(16, h - 6, w - 6)``; entry ``[k, y, x]`` is the
+    ring pixel ``k`` of the candidate at interior position ``(y, x)``.
+    """
+    h, w = pixels.shape
+    inner_h, inner_w = h - 2 * BORDER, w - 2 * BORDER
+    stack = np.empty((16, inner_h, inner_w), dtype=np.int16)
+    for k, (dy, dx) in enumerate(CIRCLE_OFFSETS):
+        stack[k] = pixels[
+            BORDER + dy : BORDER + dy + inner_h, BORDER + dx : BORDER + dx + inner_w
+        ].astype(np.int16)
+    return stack
+
+
+def _arc_mask(flags: np.ndarray, arc: int) -> np.ndarray:
+    """Vectorized circular-run test over axis 0 of a (16, ...) bool array."""
+    doubled = np.concatenate([flags, flags[: arc - 1]], axis=0)
+    result = np.zeros(flags.shape[1:], dtype=bool)
+    for start in range(16):
+        window = doubled[start : start + arc]
+        result |= window.all(axis=0)
+    return result
+
+
+def detect_fast_vectorized(
+    pixels: np.ndarray, threshold: int = 20, nonmax: bool = True
+) -> List[Keypoint]:
+    """Data-parallel FAST-9 detector (the GPU-kernel formulation)."""
+    pixels = np.asarray(pixels)
+    h, w = pixels.shape
+    if h <= 2 * BORDER or w <= 2 * BORDER:
+        return []
+    center = pixels[BORDER : h - BORDER, BORDER : w - BORDER].astype(np.int16)
+    ring = _ring_stack(pixels)
+    brighter = ring > center[None] + threshold
+    darker = ring < center[None] - threshold
+    corner = _arc_mask(brighter, ARC_LENGTH) | _arc_mask(darker, ARC_LENGTH)
+    score_inner = np.where(corner, np.abs(ring - center[None]).sum(axis=0), 0)
+    scores = np.zeros((h, w), dtype=np.float32)
+    scores[BORDER : h - BORDER, BORDER : w - BORDER] = score_inner
+    return _collect_keypoints(scores, nonmax)
+
+
+def _collect_keypoints(scores: np.ndarray, nonmax: bool) -> List[Keypoint]:
+    """Apply 3x3 non-maximum suppression and build keypoint objects."""
+    if nonmax:
+        keep = scores > 0
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dy == 0 and dx == 0:
+                    continue
+                shifted = np.zeros_like(scores)
+                ys = slice(max(dy, 0), scores.shape[0] + min(dy, 0))
+                xs = slice(max(dx, 0), scores.shape[1] + min(dx, 0))
+                ys_src = slice(max(-dy, 0), scores.shape[0] + min(-dy, 0))
+                xs_src = slice(max(-dx, 0), scores.shape[1] + min(-dx, 0))
+                shifted[ys, xs] = scores[ys_src, xs_src]
+                # Strictly-greater on one side breaks ties deterministically.
+                keep &= (scores > shifted) | (
+                    (scores == shifted) & _tie_break(scores.shape, dy, dx)
+                )
+        vs, us = np.nonzero(keep)
+    else:
+        vs, us = np.nonzero(scores > 0)
+    return [
+        Keypoint(u=float(u), v=float(v), response=float(scores[v, u]))
+        for v, u in zip(vs, us)
+    ]
+
+
+def _tie_break(shape: tuple, dy: int, dx: int) -> np.ndarray:
+    """Deterministic tie-break: keep the lexicographically-first pixel."""
+    if dy > 0 or (dy == 0 and dx > 0):
+        return np.ones(shape, dtype=bool)
+    return np.zeros(shape, dtype=bool)

@@ -1,0 +1,136 @@
+"""Feature matching: brute-force Hamming and search-by-projection.
+
+``search_by_projection`` is the *search local points* step the paper
+identifies as ~30% of tracking latency (Fig. 5): every map point in the
+local map is projected into the current frame and matched against the
+frame's descriptors inside a window.  The scalar variant loops point by
+point (default ORB-SLAM3); the vectorized variant evaluates all points
+against all candidate features in one batch (the GPU kernel of §4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .brief import hamming_distance, hamming_distance_matrix
+
+DEFAULT_MATCH_THRESHOLD = 64  # bits out of 256
+DEFAULT_RATIO = 0.8
+
+
+@dataclass
+class Match:
+    """A correspondence between a query index and a train index."""
+
+    query_idx: int
+    train_idx: int
+    distance: int
+
+
+def match_descriptors(
+    query: np.ndarray,
+    train: np.ndarray,
+    max_distance: int = DEFAULT_MATCH_THRESHOLD,
+    ratio: float = DEFAULT_RATIO,
+    cross_check: bool = True,
+) -> List[Match]:
+    """Brute-force Hamming matching with Lowe ratio and cross check."""
+    if len(query) == 0 or len(train) == 0:
+        return []
+    distances = hamming_distance_matrix(query, train)
+    best = distances.argmin(axis=1)
+    best_dist = distances[np.arange(len(query)), best]
+    matches: List[Match] = []
+    reverse_best = distances.argmin(axis=0) if cross_check else None
+    for qi in range(len(query)):
+        ti = int(best[qi])
+        dist = int(best_dist[qi])
+        if dist > max_distance:
+            continue
+        if len(train) > 1:
+            row = distances[qi].copy()
+            row[ti] = np.iinfo(row.dtype).max
+            second = int(row.min())
+            if second > 0 and dist > ratio * second:
+                continue
+        if cross_check and int(reverse_best[ti]) != qi:
+            continue
+        matches.append(Match(qi, ti, dist))
+    return matches
+
+
+def search_by_projection_scalar(
+    projected_uv: np.ndarray,
+    point_descriptors: np.ndarray,
+    frame_uv: np.ndarray,
+    frame_descriptors: np.ndarray,
+    radius: float = 8.0,
+    max_distance: int = DEFAULT_MATCH_THRESHOLD,
+) -> List[Match]:
+    """Sequential search-local-points: loop over map points one by one."""
+    matches: List[Match] = []
+    used = set()
+    for pi in range(len(projected_uv)):
+        best_dist = max_distance + 1
+        best_fi = -1
+        for fi in range(len(frame_uv)):
+            if fi in used:
+                continue
+            du = frame_uv[fi, 0] - projected_uv[pi, 0]
+            dv = frame_uv[fi, 1] - projected_uv[pi, 1]
+            if du * du + dv * dv > radius * radius:
+                continue
+            dist = hamming_distance(point_descriptors[pi], frame_descriptors[fi])
+            if dist < best_dist:
+                best_dist = dist
+                best_fi = fi
+        if best_fi >= 0:
+            used.add(best_fi)
+            matches.append(Match(pi, best_fi, best_dist))
+    return matches
+
+
+def search_by_projection_vectorized(
+    projected_uv: np.ndarray,
+    point_descriptors: np.ndarray,
+    frame_uv: np.ndarray,
+    frame_descriptors: np.ndarray,
+    radius: float = 8.0,
+    max_distance: int = DEFAULT_MATCH_THRESHOLD,
+) -> List[Match]:
+    """Data-parallel search-local-points (the GPU kernel formulation).
+
+    All point-to-feature pixel distances and Hamming distances are
+    evaluated as dense matrices; the per-point argmin happens in one
+    reduction.  Greedy one-to-one assignment then matches the scalar
+    variant's semantics (tests assert identical output).
+    """
+    n_points = len(projected_uv)
+    n_feats = len(frame_uv)
+    if n_points == 0 or n_feats == 0:
+        return []
+    diff = projected_uv[:, None, :] - frame_uv[None, :, :]
+    within = (diff ** 2).sum(axis=2) <= radius * radius
+    hamming = hamming_distance_matrix(point_descriptors, frame_descriptors)
+    cost = np.where(within & (hamming <= max_distance), hamming, np.int32(1 << 30))
+    matches: List[Match] = []
+    used = np.zeros(n_feats, dtype=bool)
+    # Same greedy order as the scalar loop: by ascending point index.
+    for pi in range(n_points):
+        row = np.where(used, np.int32(1 << 30), cost[pi])
+        fi = int(row.argmin())
+        if row[fi] >= (1 << 30):
+            continue
+        used[fi] = True
+        matches.append(Match(pi, fi, int(row[fi])))
+    return matches
+
+
+def match_stats(matches: List[Match]) -> Tuple[int, float]:
+    """Return ``(count, mean_distance)`` of a match list."""
+    if not matches:
+        return 0, 0.0
+    return len(matches), float(np.mean([m.distance for m in matches]))

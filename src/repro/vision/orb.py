@@ -1,0 +1,133 @@
+"""ORB feature extraction: pyramid FAST + oriented BRIEF + grid culling.
+
+The extractor mirrors ORB-SLAM3's frontend: detect FAST corners on every
+pyramid level, keep responses spatially spread with a grid-based cull,
+compute the intensity-centroid orientation and a steered BRIEF
+descriptor for every survivor, and report everything in level-0 pixel
+coordinates.
+
+Two backends exist (see §4.2.1 of the paper): ``"scalar"`` runs the
+sequential reference FAST, ``"vectorized"`` runs the data-parallel
+formulation.  They produce identical features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from . import brief
+from .fast import Keypoint, detect_fast_scalar, detect_fast_vectorized
+from .image import Image, ImagePyramid
+
+
+@dataclass
+class FeatureSet:
+    """Extracted features of one frame, in level-0 pixel coordinates."""
+
+    keypoints: List[Keypoint] = field(default_factory=list)
+    descriptors: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, brief.DESCRIPTOR_BYTES), dtype=np.uint8)
+    )
+
+    def __len__(self) -> int:
+        return len(self.keypoints)
+
+    @property
+    def uv(self) -> np.ndarray:
+        if not self.keypoints:
+            return np.zeros((0, 2))
+        return np.array([[kp.u, kp.v] for kp in self.keypoints])
+
+
+@dataclass
+class OrbExtractorConfig:
+    n_features: int = 500
+    n_levels: int = 4
+    scale_factor: float = 1.2
+    fast_threshold: int = 20
+    min_fast_threshold: int = 7
+    grid_cols: int = 16
+    grid_rows: int = 12
+
+
+class OrbExtractor:
+    """Pyramid ORB extractor with selectable FAST backend."""
+
+    def __init__(
+        self, config: Optional[OrbExtractorConfig] = None, backend: str = "vectorized"
+    ) -> None:
+        self.config = config or OrbExtractorConfig()
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+
+    def _detect(self, pixels: np.ndarray, threshold: int) -> List[Keypoint]:
+        if self.backend == "scalar":
+            return detect_fast_scalar(pixels, threshold)
+        return detect_fast_vectorized(pixels, threshold)
+
+    def _grid_cull(self, keypoints: List[Keypoint], width: int, height: int,
+                   budget: int) -> List[Keypoint]:
+        """Keep the strongest corners per grid cell for spatial spread."""
+        cfg = self.config
+        if not keypoints or budget <= 0:
+            return []
+        per_cell_budget = max(budget // (cfg.grid_cols * cfg.grid_rows), 1)
+        cells = {}
+        for kp in keypoints:
+            col = min(int(kp.u * cfg.grid_cols / width), cfg.grid_cols - 1)
+            row = min(int(kp.v * cfg.grid_rows / height), cfg.grid_rows - 1)
+            cells.setdefault((row, col), []).append(kp)
+        kept: List[Keypoint] = []
+        leftovers: List[Keypoint] = []
+        for cell_kps in cells.values():
+            cell_kps.sort(key=lambda k: -k.response)
+            kept.extend(cell_kps[:per_cell_budget])
+            leftovers.extend(cell_kps[per_cell_budget:])
+        if len(kept) < budget:
+            leftovers.sort(key=lambda k: -k.response)
+            kept.extend(leftovers[: budget - len(kept)])
+        kept.sort(key=lambda k: -k.response)
+        return kept[:budget]
+
+    def extract(self, image: Image) -> FeatureSet:
+        """Detect and describe up to ``n_features`` ORB features."""
+        cfg = self.config
+        pyramid = ImagePyramid(image, cfg.n_levels, cfg.scale_factor)
+        all_kps: List[Keypoint] = []
+        descriptors: List[np.ndarray] = []
+        # Distribute the feature budget across levels proportionally to area.
+        areas = np.array([lvl.size for lvl in pyramid.levels], dtype=float)
+        budgets = np.maximum((cfg.n_features * areas / areas.sum()).astype(int), 1)
+        for level, pixels in enumerate(pyramid.levels):
+            kps = self._detect(pixels, cfg.fast_threshold)
+            if not kps:
+                # Retry with a permissive threshold in low-texture frames,
+                # matching ORB-SLAM3's two-threshold strategy.
+                kps = self._detect(pixels, cfg.min_fast_threshold)
+            kps = self._grid_cull(kps, pixels.shape[1], pixels.shape[0],
+                                  int(budgets[level]))
+            for kp in kps:
+                angle = brief.intensity_centroid_angle(pixels, kp.u, kp.v)
+                descriptor = brief.compute_descriptor(pixels, kp, angle)
+                if descriptor is None:
+                    continue
+                scale = pyramid.level_scale(level)
+                all_kps.append(
+                    Keypoint(
+                        u=kp.u * scale,
+                        v=kp.v * scale,
+                        response=kp.response,
+                        level=level,
+                        angle=angle,
+                    )
+                )
+                descriptors.append(descriptor)
+        if len(all_kps) > cfg.n_features:
+            order = np.argsort([-kp.response for kp in all_kps])[: cfg.n_features]
+            all_kps = [all_kps[i] for i in order]
+            descriptors = [descriptors[i] for i in order]
+        return FeatureSet(all_kps, brief.descriptors_to_matrix(descriptors))

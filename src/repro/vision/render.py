@@ -1,0 +1,202 @@
+"""Synthetic frame rendering and the feature oracle.
+
+Real SLAM datasets (EuRoC, KITTI) provide camera images; we have none,
+so two substitutes exercise the same code paths (see DESIGN.md §2):
+
+* :func:`render_frame` draws every visible landmark as a deterministic
+  high-contrast patch on a noisy background.  The *real* FAST/ORB
+  pipeline runs on these images — used by the vision tests and the
+  kernel benchmarks.
+* :class:`FeatureOracle` skips photometric rendering and directly
+  produces per-frame observations (pixel + noise, packed descriptor
+  with a few flipped bits, stereo disparity).  The SLAM pipeline
+  consumes these exactly like extractor output; the large multi-client
+  experiments use this frontend for speed and determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geometry import SE3
+from . import brief
+from .camera import PinholeCamera, StereoRig
+from .image import Image
+
+PATCH_SIZE = 9
+
+
+_BINOMIAL = np.array([1.0, 2.0, 1.0]) / 4.0
+
+
+def landmark_patch(landmark_id: int, size: int = PATCH_SIZE) -> np.ndarray:
+    """Deterministic high-contrast patch for a landmark.
+
+    The same landmark always renders the same pattern, so its appearance
+    (and hence its BRIEF descriptor) is consistent across views — the
+    property real-world corners have that makes them matchable.  The
+    binary pattern is mildly band-limited (binomial blur), like any
+    optically captured texture; without this, sub-candidate motion
+    misalignments would make video residuals unrealistically large.
+    """
+    rng = np.random.default_rng(0xC0FFEE + int(landmark_id))
+    pattern = rng.integers(0, 2, size=(size, size)).astype(np.float64) * 200 + 30
+    for axis in (0, 1):
+        pattern = np.apply_along_axis(
+            lambda row: np.convolve(row, _BINOMIAL, mode="same"), axis, pattern
+        )
+    return np.clip(pattern, 0, 255).astype(np.uint8)
+
+
+def render_frame(
+    positions: np.ndarray,
+    landmark_ids: np.ndarray,
+    camera: PinholeCamera,
+    pose_cw: SE3,
+    background: int = 110,
+    noise_sigma: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+    timestamp: float = 0.0,
+) -> Image:
+    """Render a grayscale frame of the landmark field from ``pose_cw``."""
+    rng = rng or np.random.default_rng(0)
+    pixels = np.full((camera.height, camera.width), background, dtype=np.float32)
+    if noise_sigma > 0:
+        pixels += rng.normal(scale=noise_sigma, size=pixels.shape)
+    if len(positions):
+        uv, _depth, valid = camera.project_world(positions, pose_cw)
+        half = PATCH_SIZE // 2
+        for idx in np.nonzero(valid)[0]:
+            u, v = int(round(uv[idx, 0])), int(round(uv[idx, 1]))
+            y0, y1 = v - half, v + half + 1
+            x0, x1 = u - half, u + half + 1
+            if y0 < 0 or x0 < 0 or y1 > camera.height or x1 > camera.width:
+                continue
+            pixels[y0:y1, x0:x1] = landmark_patch(int(landmark_ids[idx]))
+    return Image(np.clip(pixels, 0, 255).astype(np.uint8), timestamp)
+
+
+class DescriptorBank:
+    """Canonical packed descriptor per landmark id (lazily generated)."""
+
+    def __init__(self, seed: int = 0xD5C) -> None:
+        self._seed = seed
+        self._bank: Dict[int, np.ndarray] = {}
+
+    def descriptor(self, landmark_id: int) -> np.ndarray:
+        cached = self._bank.get(landmark_id)
+        if cached is None:
+            rng = np.random.default_rng(self._seed + int(landmark_id))
+            cached = brief.random_descriptor(rng)
+            self._bank[landmark_id] = cached
+        return cached
+
+
+@dataclass
+class ObservedFeature:
+    """One oracle observation: where a landmark landed in the frame."""
+
+    landmark_id: int
+    uv: np.ndarray
+    depth: float
+    descriptor: np.ndarray
+    right_u: float = -1.0  # stereo column in the right image; -1 if mono
+
+
+class FeatureOracle:
+    """Simulated feature frontend with controlled noise.
+
+    Parameters
+    ----------
+    pixel_sigma:
+        std-dev of keypoint localization noise, in pixels.
+    descriptor_flip_bits:
+        how many of the 256 descriptor bits flip per observation
+        (viewpoint/photometric variation).
+    dropout:
+        probability that a visible landmark is missed in a frame.
+    max_features:
+        per-frame cap (uniform subsample when exceeded).
+    depth_sigma_rel:
+        relative noise on the reported depth (stereo triangulation
+        error grows with range; a constant relative factor is a fair
+        first-order model).
+    """
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        stereo: Optional[StereoRig] = None,
+        pixel_sigma: float = 0.4,
+        descriptor_flip_bits: int = 8,
+        dropout: float = 0.05,
+        max_features: int = 300,
+        depth_sigma_rel: float = 0.01,
+        seed: int = 7,
+        descriptor_bank: Optional[DescriptorBank] = None,
+    ) -> None:
+        self.camera = camera
+        self.stereo = stereo
+        self.pixel_sigma = pixel_sigma
+        self.descriptor_flip_bits = descriptor_flip_bits
+        self.dropout = dropout
+        self.max_features = max_features
+        self.depth_sigma_rel = depth_sigma_rel
+        self.bank = descriptor_bank or DescriptorBank()
+        self._rng = np.random.default_rng(seed)
+
+    def observe(
+        self,
+        positions: np.ndarray,
+        landmark_ids: np.ndarray,
+        pose_cw: SE3,
+    ) -> List[ObservedFeature]:
+        """Observe the landmark field from one camera pose."""
+        if len(positions) == 0:
+            return []
+        uv, depth, valid = self.camera.project_world(positions, pose_cw)
+        visible = np.nonzero(valid)[0]
+        if len(visible) == 0:
+            return []
+        if self.dropout > 0:
+            keep = self._rng.random(len(visible)) >= self.dropout
+            visible = visible[keep]
+        # Subsample uniformly when over budget.  (Selecting the *nearest*
+        # landmarks instead is tempting but degenerate: close to a wall
+        # the whole feature set becomes coplanar and PnP turns ambiguous.
+        # Real FAST responses are not depth-ordered either.)
+        if len(visible) > self.max_features:
+            visible = self._rng.choice(visible, size=self.max_features, replace=False)
+            visible = np.sort(visible)
+        observations: List[ObservedFeature] = []
+        for idx in visible:
+            noisy_uv = uv[idx] + self._rng.normal(scale=self.pixel_sigma, size=2)
+            if not self.camera.in_image(noisy_uv[None])[0]:
+                continue
+            descriptor = brief.perturb_descriptor(
+                self.bank.descriptor(int(landmark_ids[idx])),
+                self._rng,
+                self.descriptor_flip_bits,
+            )
+            noisy_depth = float(
+                depth[idx] * (1.0 + self._rng.normal(scale=self.depth_sigma_rel))
+            )
+            right_u = -1.0
+            if self.stereo is not None:
+                right_u = float(
+                    self.stereo.right_u(noisy_uv[0], depth[idx])
+                    + self._rng.normal(scale=self.pixel_sigma)
+                )
+            observations.append(
+                ObservedFeature(
+                    landmark_id=int(landmark_ids[idx]),
+                    uv=noisy_uv,
+                    depth=max(noisy_depth, 1e-3),
+                    descriptor=descriptor,
+                    right_u=right_u,
+                )
+            )
+        return observations

@@ -1,0 +1,197 @@
+"""End-to-end tests for the SLAM-Share session, server, client, holograms.
+
+These are the system-level tests of the paper's architecture: multi-user
+sessions over the simulated network, merging, pose fusion, hologram
+consistency.  Durations are kept short (pure-Python SLAM); module-level
+session results are shared across read-only tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BaselineConfig,
+    BaselineSession,
+    ClientScenario,
+    SlamShareConfig,
+    SlamShareSession,
+    perceived_position,
+    placement_error,
+)
+from repro.datasets import euroc_dataset
+from repro.geometry import SE3, Sim3
+from repro.net import PROFILE_DELAY_300MS
+
+
+def _scenarios(duration_a=14.0, duration_b=11.0, rate=10.0):
+    mh04 = euroc_dataset("MH04", duration=duration_a, rate=rate)
+    mh05 = euroc_dataset("MH05", duration=duration_b, rate=rate)
+    return [
+        ClientScenario(0, mh04),
+        ClientScenario(1, mh05, start_time=4.0, oracle_seed=9, imu_seed=13),
+    ]
+
+
+def _run(shaping=None, **cfg_kwargs):
+    config = SlamShareConfig(
+        camera_fps=10.0, render_video_frames=False, **cfg_kwargs
+    )
+    if shaping is not None:
+        config.shaping = shaping
+    session = SlamShareSession(_scenarios(), config, ate_sample_interval=0.5)
+    return session.run()
+
+
+# One shared run for the read-only assertions.
+RESULT = _run()
+
+
+class TestSlamShareSession:
+    def test_all_clients_track(self):
+        for outcome in RESULT.outcomes.values():
+            assert outcome.frames_processed > 0
+            assert outcome.frames_lost <= 2
+
+    def test_server_ate_under_paper_bound(self):
+        for cid in RESULT.outcomes:
+            assert RESULT.client_ate(cid).rmse < 0.10  # paper: < 10 cm
+
+    def test_client_display_ate_close_to_server(self):
+        for cid in RESULT.outcomes:
+            display = RESULT.client_ate(cid, use_display=True).rmse
+            server = RESULT.client_ate(cid).rmse
+            assert display < server + 0.05
+
+    def test_second_client_merges(self):
+        assert len(RESULT.merges) == 1
+        merge = RESULT.merges[0]
+        assert merge.client_id == 1
+        assert merge.transform.scale == pytest.approx(1.0, abs=0.05)
+
+    def test_merge_latency_under_200ms(self):
+        # The headline claim: merge/update within 200 ms.
+        assert RESULT.merges[0].merge_ms < 200.0
+
+    def test_tracking_latency_realtime(self):
+        for outcome in RESULT.outcomes.values():
+            mean_ms = np.mean(outcome.tracking_latencies_ms)
+            assert mean_ms < 33.0
+
+    def test_global_ate_spikes_then_drops_at_merge(self):
+        """The Fig. 10a shape: the live pooled ATE is large while client
+        B's fragment floats in its own frame, then collapses at merge."""
+        merge_t = RESULT.merges[0].session_time
+        before = [v for t, v in RESULT.live_global_ate
+                  if 4.5 < t < merge_t]
+        after = [v for t, v in RESULT.live_global_ate if t > merge_t + 0.5]
+        assert before and after
+        assert max(before) > 0.10   # spike while unmerged (paper: 55 cm)
+        assert max(after) < 0.10    # collapses post-merge (paper: ~1 cm)
+
+    def test_shared_store_populated(self):
+        stats = RESULT.server.store.stats()
+        assert stats.n_keyframes == RESULT.server.global_map.n_keyframes
+        assert stats.writes > 0
+
+    def test_pose_rtt_small_on_ideal_link(self):
+        for outcome in RESULT.outcomes.values():
+            assert np.mean(outcome.pose_rtts_ms) < 40.0
+
+    def test_client_cpu_far_below_full_slam(self):
+        # Fig. 13: the SLAM-Share client is ~0.7% of ONE core.
+        for outcome in RESULT.outcomes.values():
+            cores = outcome.client.cpu.mean_cores()
+            assert cores < 0.2
+
+    def test_gpu_spatial_share(self):
+        assert RESULT.server.gpu_share() == pytest.approx(0.5)
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ValueError):
+            SlamShareSession([])
+
+
+class TestNetworkConditions:
+    def test_delay_300ms_keeps_accuracy(self):
+        """Fig. 12a/Table 2: SLAM-Share rides out 300 ms of added delay."""
+        result = _run(shaping=PROFILE_DELAY_300MS)
+        for cid in result.outcomes:
+            assert result.client_ate(cid).rmse < 0.12
+        # Pose RTTs actually reflect the delay.
+        rtts = result.outcomes[0].pose_rtts_ms
+        assert np.mean(rtts) > 600.0
+
+
+class TestHolograms:
+    def test_shared_frame_consistency(self):
+        """Fig. 11b: with SLAM-Share all clients perceive the hologram at
+        (nearly) the same real-world position."""
+        frame_b = RESULT.client_frame(0)
+        frame_c = RESULT.client_frame(1)
+        hologram = RESULT.holograms.place(
+            np.array([2.0, 1.0, 1.5]), client_id=0, timestamp=10.0
+        )
+        err = placement_error(hologram, frame_b, frame_c)
+        assert err < 0.10
+
+    def test_no_sharing_scatters_holograms(self):
+        """Fig. 11a: private frames put the same coordinates meters apart."""
+        # Client frames without merging: each client's own first-camera
+        # frame related to the world by a different transform.
+        mh04 = euroc_dataset("MH04", duration=6.0, rate=10.0)
+        mh05 = euroc_dataset("MH05", duration=6.0, rate=10.0)
+        frame_b = Sim3.from_se3(mh04.pose_cw(0).inverse())
+        frame_c = Sim3.from_se3(mh05.pose_cw(0).inverse())
+        from repro.core.holograms import Hologram
+
+        hologram = Hologram(0, np.array([2.0, 1.0, 1.5]), 0, 0.0)
+        err = placement_error(hologram, frame_b, frame_c)
+        assert err > 1.0  # meters, as in the paper's 6.94 m example
+
+    def test_registry(self):
+        from repro.core.holograms import HologramRegistry
+
+        registry = HologramRegistry()
+        h = registry.place(np.array([1.0, 2.0, 3.0]), client_id=1, timestamp=5.0)
+        assert registry.get(h.hologram_id) is h
+        assert registry.get(99) is None
+        assert len(registry) == 1
+
+    def test_perceived_position_identity(self):
+        from repro.core.holograms import Hologram
+
+        h = Hologram(0, np.array([1.0, 2.0, 3.0]), 0, 0.0)
+        assert np.allclose(perceived_position(h, Sim3.identity()), [1, 2, 3])
+
+
+class TestBaselineSession:
+    def test_baseline_runs_and_merges(self):
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        baseline = BaselineConfig(hold_down_frames=40, hold_down_s=4.0)
+        session = BaselineSession(_scenarios(), config, baseline)
+        result = session.run()
+        assert all(st.merged for st in result.clients.values())
+        # Clients drop frames under compute pressure (the 15 FPS effect).
+        assert any(st.frames_dropped > 0 for st in result.clients.values())
+
+    def test_baseline_client_cpu_much_higher_than_slam_share(self):
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        baseline = BaselineConfig(hold_down_frames=40)
+        session = BaselineSession(_scenarios(), config, baseline)
+        result = session.run()
+        baseline_cores = result.clients[0].cpu.mean_cores()
+        share_cores = RESULT.outcomes[0].client.cpu.mean_cores()
+        assert baseline_cores > 10 * share_cores
+
+    def test_baseline_sync_rounds_have_table4_components(self):
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        baseline = BaselineConfig(hold_down_frames=40)
+        session = BaselineSession(_scenarios(), config, baseline)
+        result = session.run()
+        rounds = [r for st in result.clients.values() for r in st.rounds]
+        assert rounds
+        for r in rounds:
+            assert r.map_bytes > 0
+            assert r.serialization_ms > 0
+            assert r.deserialization_ms > r.serialization_ms
+            assert r.merge_ms > 0

@@ -1,0 +1,176 @@
+"""Tests for Umeyama/Horn alignment and trajectories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    SE3,
+    Sim3,
+    Trajectory,
+    TrajectoryPoint,
+    alignment_rmse,
+    horn_se3,
+    quaternion,
+    ransac_umeyama,
+    so3,
+    umeyama,
+)
+
+
+def _random_points(rng, n=30):
+    return rng.normal(scale=2.0, size=(n, 3))
+
+
+class TestUmeyama:
+    def test_recovers_known_similarity(self):
+        rng = np.random.default_rng(0)
+        src = _random_points(rng)
+        truth = Sim3(so3.random_rotation(rng), rng.normal(size=3), 1.9)
+        est = umeyama(src, truth.apply(src))
+        assert est.almost_equal(truth, tol=1e-8)
+
+    def test_recovers_rigid_when_scale_disabled(self):
+        rng = np.random.default_rng(1)
+        src = _random_points(rng)
+        truth = SE3(so3.random_rotation(rng), rng.normal(size=3))
+        est = horn_se3(src, truth.apply(src))
+        assert est.almost_equal(truth, rot_tol=1e-8, trans_tol=1e-8)
+
+    def test_scale_fixed_to_one_without_scale(self):
+        rng = np.random.default_rng(2)
+        src = _random_points(rng)
+        target = 3.0 * src  # pure scaling
+        est = umeyama(src, target, with_scale=False)
+        assert est.scale == 1.0
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(3)
+        src = _random_points(rng, n=200)
+        truth = Sim3(so3.random_rotation(rng), rng.normal(size=3), 1.2)
+        tgt = truth.apply(src) + rng.normal(scale=0.01, size=src.shape)
+        est = umeyama(src, tgt)
+        assert alignment_rmse(src, tgt, est) < 0.05
+        assert abs(est.scale - truth.scale) < 0.01
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError):
+            umeyama(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            umeyama(np.zeros((4, 3)), np.zeros((5, 3)))
+
+    def test_rejects_degenerate_source(self):
+        src = np.zeros((5, 3))
+        with pytest.raises(ValueError):
+            umeyama(src, src + 1.0)
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_random_similarity_recovered(self, seed):
+        rng = np.random.default_rng(seed)
+        src = _random_points(rng, n=10)
+        # Guard against degenerate draws (collinear sets are measure-zero).
+        truth = Sim3(so3.random_rotation(rng), rng.normal(size=3), float(rng.uniform(0.5, 2.0)))
+        est = umeyama(src, truth.apply(src))
+        assert alignment_rmse(src, truth.apply(src), est) < 1e-8
+
+
+class TestRansacUmeyama:
+    def test_rejects_outliers(self):
+        rng = np.random.default_rng(4)
+        src = _random_points(rng, n=60)
+        truth = Sim3(so3.random_rotation(rng), rng.normal(size=3), 1.5)
+        tgt = truth.apply(src)
+        # Corrupt 30% of correspondences badly.
+        outliers = rng.choice(60, size=18, replace=False)
+        tgt[outliers] += rng.normal(scale=10.0, size=(18, 3))
+        est, mask = ransac_umeyama(src, tgt, rng, inlier_threshold=0.1)
+        assert est is not None
+        assert mask.sum() >= 40
+        assert abs(est.scale - truth.scale) < 0.05
+
+    def test_returns_none_on_garbage(self):
+        rng = np.random.default_rng(5)
+        src = _random_points(rng, n=20)
+        tgt = rng.normal(scale=50.0, size=(20, 3))
+        est, mask = ransac_umeyama(src, tgt, rng, inlier_threshold=0.01, min_inliers=10)
+        assert est is None and mask is None
+
+    def test_too_few_points(self):
+        rng = np.random.default_rng(6)
+        est, mask = ransac_umeyama(np.zeros((2, 3)), np.zeros((2, 3)), rng)
+        assert est is None
+
+
+class TestTrajectory:
+    def _make(self, n=10, dt=0.1):
+        times = np.arange(n) * dt
+        pos = np.column_stack([times, np.zeros(n), np.zeros(n)])  # 1 m/s along x
+        return Trajectory.from_arrays(times, pos)
+
+    def test_round_trip_arrays(self):
+        traj = self._make()
+        assert len(traj) == 10
+        assert np.allclose(traj.positions[:, 0], traj.timestamps)
+
+    def test_monotonic_enforced(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                [
+                    TrajectoryPoint(1.0, np.zeros(3), quaternion.identity()),
+                    TrajectoryPoint(0.5, np.zeros(3), quaternion.identity()),
+                ]
+            )
+
+    def test_append_enforces_order(self):
+        traj = self._make(3)
+        with pytest.raises(ValueError):
+            traj.append(TrajectoryPoint(0.0, np.zeros(3), quaternion.identity()))
+
+    def test_sample_interpolates_linearly(self):
+        traj = self._make()
+        p = traj.sample(0.05)
+        assert p.position[0] == pytest.approx(0.05)
+
+    def test_sample_clamps_at_ends(self):
+        traj = self._make()
+        assert traj.sample(-1.0).timestamp == 0.0
+        assert traj.sample(99.0).timestamp == pytest.approx(0.9)
+
+    def test_duration_and_path_length(self):
+        traj = self._make()
+        assert traj.duration() == pytest.approx(0.9)
+        assert traj.path_length() == pytest.approx(0.9)
+
+    def test_slice_time(self):
+        traj = self._make()
+        sub = traj.slice_time(0.25, 0.65)
+        assert len(sub) == 4  # samples at 0.3, 0.4, 0.5, 0.6
+
+    def test_resample(self):
+        traj = self._make()
+        re = traj.resample([0.05, 0.15, 0.25])
+        assert len(re) == 3
+        assert np.allclose(re.positions[:, 0], [0.05, 0.15, 0.25])
+
+    def test_transformed_moves_positions(self):
+        traj = self._make()
+        shift = SE3(np.eye(3), np.array([0.0, 5.0, 0.0]))
+        moved = traj.transformed(shift)
+        assert np.allclose(moved.positions[:, 1], 5.0)
+
+    def test_velocities_constant_speed(self):
+        traj = self._make()
+        vel = traj.velocities()
+        assert np.allclose(vel[1:, 0], 1.0)
+
+    def test_pose_conventions(self):
+        p = TrajectoryPoint(
+            0.0, np.array([1.0, 2.0, 3.0]), quaternion.identity()
+        )
+        # Body origin expressed in world == position.
+        assert np.allclose(p.pose_wb().apply(np.zeros(3)), [1.0, 2.0, 3.0])
+        assert np.allclose(p.pose_bw().apply(np.array([1.0, 2.0, 3.0])), np.zeros(3))

@@ -1,0 +1,179 @@
+"""Tests for the discrete-event clock and shaped links."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    MBIT,
+    PROFILE_BW_9_4,
+    PROFILE_BW_18_7,
+    PROFILE_DELAY_300MS,
+    PROFILE_IDEAL,
+    DuplexLink,
+    Link,
+    SimClock,
+)
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_schedule_and_run(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(clock.now))
+        clock.schedule(0.5, lambda: fired.append(clock.now))
+        clock.run()
+        assert fired == [0.5, 1.0]
+
+    def test_fifo_among_equal_times(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(1.0, lambda: order.append("a"))
+        clock.schedule(1.0, lambda: order.append("b"))
+        clock.run()
+        assert order == ["a", "b"]
+
+    def test_run_until(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: fired.append(1))
+        clock.schedule(5.0, lambda: fired.append(5))
+        clock.run(until=2.0)
+        assert fired == [1]
+        assert clock.now == 2.0
+        clock.run()
+        assert fired == [1, 5]
+
+    def test_cancel(self):
+        clock = SimClock()
+        fired = []
+        event = clock.schedule(1.0, lambda: fired.append(1))
+        clock.cancel(event)
+        clock.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-0.1, lambda: None)
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        fired = []
+
+        def outer():
+            clock.schedule(1.0, lambda: fired.append(clock.now))
+
+        clock.schedule(1.0, outer)
+        clock.run()
+        assert fired == [2.0]
+
+    def test_runaway_guard(self):
+        clock = SimClock()
+
+        def loop():
+            clock.schedule(0.001, loop)
+
+        clock.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            clock.run(max_events=100)
+
+    def test_pending_count(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: None)
+        e = clock.schedule(2.0, lambda: None)
+        clock.cancel(e)
+        assert clock.pending() == 1
+
+
+class TestLink:
+    def test_transmission_delay(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=8e6)  # 1 MB/s
+        assert link.transmission_delay(1_000_000) == pytest.approx(1.0)
+
+    def test_unconstrained_link_is_instant(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=None, delay_s=0.01)
+        assert link.transmission_delay(10**9) == 0.0
+        assert link.one_way_latency(10**9) == pytest.approx(0.01)
+
+    def test_delivery_time(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=8e6, delay_s=0.1)
+        arrivals = []
+        link.send(1_000_000, lambda: arrivals.append(clock.now))
+        clock.run()
+        assert arrivals == [pytest.approx(1.1)]
+
+    def test_fifo_queueing(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=8e6)
+        arrivals = []
+        link.send(1_000_000, lambda: arrivals.append(("a", clock.now)))
+        link.send(1_000_000, lambda: arrivals.append(("b", clock.now)))
+        clock.run()
+        assert arrivals[0] == ("a", pytest.approx(1.0))
+        assert arrivals[1] == ("b", pytest.approx(2.0))
+        assert link.stats.mean_queue_delay > 0
+
+    def test_priority_bypass(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=8e6)
+        arrivals = []
+        link.send(8_000_000, lambda: arrivals.append("big"))
+        link.send(1_000, lambda: arrivals.append("tiny"), priority_bypass=True)
+        clock.run()
+        assert arrivals[0] == "tiny"
+
+    def test_loss(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=None, loss_rate=0.5, seed=0)
+        delivered = []
+        for _ in range(200):
+            link.send(100, lambda: delivered.append(1))
+        clock.run()
+        assert 60 <= len(delivered) <= 140
+        assert link.stats.messages_dropped == 200 - len(delivered)
+
+    def test_invalid_params(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            Link(clock, bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            Link(clock, delay_s=-1)
+        with pytest.raises(ValueError):
+            Link(clock, loss_rate=1.0)
+
+    @given(st.integers(min_value=1, max_value=10**7))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_monotone_in_size(self, n_bytes):
+        clock = SimClock()
+        link = Link(clock, bandwidth_bps=10e6, delay_s=0.05)
+        assert link.one_way_latency(n_bytes) >= link.one_way_latency(0)
+
+
+class TestShapingProfiles:
+    def test_paper_profiles_exist(self):
+        assert PROFILE_BW_18_7.bandwidth_bps == pytest.approx(18.7 * MBIT)
+        assert PROFILE_BW_9_4.bandwidth_bps == pytest.approx(9.4 * MBIT)
+        assert PROFILE_DELAY_300MS.delay_s == pytest.approx(0.300)
+        assert PROFILE_IDEAL.bandwidth_bps is None
+
+    def test_build_duplex(self):
+        clock = SimClock()
+        link = PROFILE_DELAY_300MS.build(clock)
+        assert link.rtt() == pytest.approx(0.6)
+
+    def test_18_7_mbit_rationale(self):
+        # 18.7 Mb/s is the minimum bandwidth for the largest map (Table 1:
+        # 38.81 MB... actually sized to send within 5 s; check ~11.7 MB in 5 s)
+        clock = SimClock()
+        link = PROFILE_BW_18_7.build(clock)
+        five_seconds_worth = 18.7 * MBIT * 5 / 8
+        assert link.uplink.transmission_delay(int(five_seconds_worth)) == pytest.approx(
+            5.0, rel=1e-6
+        )

@@ -1,0 +1,292 @@
+"""Tests for the arena allocator, RW lock, records and map store."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sharedmem import (
+    Arena,
+    ArenaError,
+    RWLock,
+    SharedMapStore,
+    SharedMemoryRegion,
+    keyframe_record_size,
+    mappoint_record_size,
+    read_keyframe_record,
+    read_mappoint_record,
+    write_keyframe_record,
+    write_mappoint_record,
+)
+from tests.test_net_serialization_transport import make_map
+
+
+class TestArena:
+    def test_alloc_returns_disjoint_ranges(self):
+        arena = Arena(bytearray(1024))
+        a = arena.alloc(100)
+        b = arena.alloc(100)
+        assert a != b
+        assert abs(a - b) >= 100
+
+    def test_alignment(self):
+        arena = Arena(bytearray(1024))
+        a = arena.alloc(3)
+        b = arena.alloc(3)
+        assert a % 8 == 0 and b % 8 == 0
+
+    def test_exhaustion_raises(self):
+        arena = Arena(bytearray(64))
+        arena.alloc(32)
+        with pytest.raises(ArenaError):
+            arena.alloc(64)
+
+    def test_free_allows_reuse(self):
+        arena = Arena(bytearray(64))
+        a = arena.alloc(48)
+        with pytest.raises(ArenaError):
+            arena.alloc(48)
+        arena.free(a)
+        assert arena.alloc(48) == a
+
+    def test_coalescing(self):
+        arena = Arena(bytearray(96))
+        a = arena.alloc(32)
+        b = arena.alloc(32)
+        c = arena.alloc(32)
+        arena.free(a)
+        arena.free(b)
+        # a+b coalesce into a 64-byte block at offset 0.
+        assert arena.alloc(64) == 0
+        arena.free(c)
+
+    def test_double_free_raises(self):
+        arena = Arena(bytearray(64))
+        a = arena.alloc(16)
+        arena.free(a)
+        with pytest.raises(ArenaError):
+            arena.free(a)
+
+    def test_view_roundtrip(self):
+        arena = Arena(bytearray(128))
+        offset = arena.alloc(16)
+        view = arena.view(offset, 16)
+        view[:4] = b"abcd"
+        assert bytes(arena.view(offset, 4)) == b"abcd"
+
+    def test_view_out_of_range(self):
+        arena = Arena(bytearray(64))
+        with pytest.raises(ArenaError):
+            arena.view(60, 16)
+
+    def test_stats(self):
+        arena = Arena(bytearray(1024))
+        arena.alloc(100)
+        stats = arena.stats()
+        assert stats.allocated == 104  # aligned
+        assert stats.n_blocks == 1
+        assert 0 < stats.utilization < 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ArenaError):
+            Arena(bytearray(64)).alloc(0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_property_alloc_free_all_restores_capacity(self, sizes):
+        arena = Arena(bytearray(8192))
+        offsets = [arena.alloc(s) for s in sizes]
+        for off in offsets:
+            arena.free(off)
+        stats = arena.stats()
+        assert stats.allocated == 0
+        # One fully coalesced free block.
+        assert arena.alloc(8192 - 8) is not None
+
+
+class TestRWLock:
+    def test_concurrent_readers(self):
+        lock = RWLock()
+        assert lock.acquire_read()
+        assert lock.acquire_read()
+        assert lock.active_readers == 2
+        lock.release_read()
+        lock.release_read()
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        with lock.write():
+            assert not lock.acquire_read(timeout=0.05)
+
+    def test_reader_blocks_writer(self):
+        lock = RWLock()
+        with lock.read():
+            assert not lock.acquire_write(timeout=0.05)
+
+    def test_writer_preference(self):
+        lock = RWLock()
+        results = []
+        lock.acquire_read()
+
+        def writer():
+            with lock.write():
+                results.append("w")
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        # Writer is waiting: new readers must block behind it.
+        assert not lock.acquire_read(timeout=0.05)
+        lock.release_read()
+        t.join(timeout=1)
+        assert results == ["w"]
+
+    def test_release_without_acquire_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_threaded_counter_consistency(self):
+        lock = RWLock()
+        counter = {"v": 0}
+
+        def writer():
+            for _ in range(100):
+                with lock.write():
+                    v = counter["v"]
+                    counter["v"] = v + 1
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["v"] == 400
+        assert lock.write_acquisitions == 400
+
+
+class TestRecords:
+    def _kf(self):
+        slam_map = make_map(n_keyframes=1, n_points_per_kf=8, seed=3)
+        return next(iter(slam_map.keyframes.values()))
+
+    def _mp(self):
+        slam_map = make_map(n_keyframes=1, n_points_per_kf=8, seed=4)
+        return next(iter(slam_map.mappoints.values()))
+
+    def test_keyframe_roundtrip(self):
+        kf = self._kf()
+        size = keyframe_record_size(len(kf), len(kf.bow_vector))
+        buf = memoryview(bytearray(size))
+        written = write_keyframe_record(buf, kf)
+        assert written <= size
+        restored = read_keyframe_record(buf)
+        assert restored.keyframe_id == kf.keyframe_id
+        assert np.allclose(restored.uv, kf.uv, atol=1e-4)
+        assert np.array_equal(restored.descriptors, kf.descriptors)
+        assert np.array_equal(restored.point_ids, kf.point_ids)
+        assert restored.pose_cw.almost_equal(kf.pose_cw, 1e-9, 1e-9)
+        assert restored.bow_vector == kf.bow_vector
+
+    def test_mappoint_roundtrip(self):
+        point = self._mp()
+        size = mappoint_record_size(len(point.observations))
+        buf = memoryview(bytearray(size))
+        write_mappoint_record(buf, point)
+        restored = read_mappoint_record(buf)
+        assert restored.point_id == point.point_id
+        assert np.allclose(restored.position, point.position)
+        assert restored.observations == point.observations
+
+    def test_record_size_formula_is_exact_enough(self):
+        kf = self._kf()
+        size = keyframe_record_size(len(kf), len(kf.bow_vector))
+        buf = memoryview(bytearray(size))
+        assert write_keyframe_record(buf, kf) == size
+
+
+class TestSharedMapStore:
+    def _store(self):
+        return SharedMapStore(capacity=4 * 1024 * 1024)
+
+    def test_put_get_keyframe(self):
+        store = self._store()
+        slam_map = make_map(seed=5)
+        kf = next(iter(slam_map.keyframes.values()))
+        store.put_keyframe(kf)
+        restored = store.get_keyframe(kf.keyframe_id)
+        assert restored is not None
+        assert np.array_equal(restored.descriptors, kf.descriptors)
+
+    def test_get_missing_returns_none(self):
+        store = self._store()
+        assert store.get_keyframe(42) is None
+        assert store.get_mappoint(42) is None
+
+    def test_update_in_place(self):
+        store = self._store()
+        slam_map = make_map(seed=6)
+        point = next(iter(slam_map.mappoints.values()))
+        store.put_mappoint(point)
+        point.position = np.array([9.0, 9.0, 9.0])
+        store.put_mappoint(point)
+        assert np.allclose(store.get_mappoint(point.point_id).position, 9.0)
+        assert len(store.mappoint_ids()) == 1
+
+    def test_publish_map_counts(self):
+        store = self._store()
+        slam_map = make_map(n_keyframes=4, seed=7)
+        written = store.publish_map(
+            slam_map.keyframes.values(), slam_map.mappoints.values()
+        )
+        assert written > 0
+        stats = store.stats()
+        assert stats.n_keyframes == 4
+        assert stats.n_mappoints == slam_map.n_mappoints
+
+    def test_remove(self):
+        store = self._store()
+        slam_map = make_map(seed=8)
+        kf = next(iter(slam_map.keyframes.values()))
+        store.put_keyframe(kf)
+        store.remove_keyframe(kf.keyframe_id)
+        assert store.get_keyframe(kf.keyframe_id) is None
+        # Arena space is reclaimed.
+        assert store.stats().arena.allocated == 0
+
+    def test_iter_keyframes_sorted(self):
+        store = self._store()
+        slam_map = make_map(n_keyframes=5, seed=9)
+        store.publish_map(slam_map.keyframes.values(), [])
+        ids = [kf.keyframe_id for kf in store.iter_keyframes()]
+        assert ids == sorted(ids)
+
+
+class TestSharedMemoryRegion:
+    def test_create_write_attach_read(self):
+        with SharedMemoryRegion(size=4096) as region:
+            region.buffer[:5] = b"hello"
+            # Attach a second handle by name (same process, same semantics).
+            other = SharedMemoryRegion(name=region.name, create=False)
+            assert bytes(other.buffer[:5]) == b"hello"
+            other.close()
+
+    def test_store_over_real_shared_memory(self):
+        with SharedMemoryRegion(size=1024 * 1024) as region:
+            store = SharedMapStore(buffer=region.buffer)
+            slam_map = make_map(seed=10)
+            kf = next(iter(slam_map.keyframes.values()))
+            store.put_keyframe(kf)
+            assert store.get_keyframe(kf.keyframe_id) is not None
+            del store  # release memoryviews before region teardown
+
+    def test_invalid_create_args(self):
+        with pytest.raises(ValueError):
+            SharedMemoryRegion(size=0, create=True)
+        with pytest.raises(ValueError):
+            SharedMemoryRegion(create=False)

@@ -1,0 +1,172 @@
+"""Tests for place recognition and multi-client map merging (Alg. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import euroc_dataset
+from repro.geometry import SE3, Sim3
+from repro.metrics import absolute_trajectory_error
+from repro.slam import (
+    MapMerger,
+    MergerConfig,
+    SlamConfig,
+    SlamSystem,
+    default_vocabulary,
+    detect_common_region,
+)
+from repro.slam.bow import KeyframeDatabase
+from tests.test_slam_system import run_system
+
+VOCAB = default_vocabulary()
+
+
+def build_two_clients(duration=12.0, mono_scale_b=1.0):
+    """Two clients exploring the same hall on overlapping paths."""
+    ds_a = euroc_dataset("MH04", duration=duration, rate=10.0)
+    ds_b = euroc_dataset("MH05", duration=duration, rate=10.0)
+    cfg_a = SlamConfig()
+    cfg_b = SlamConfig(mono=(mono_scale_b != 1.0), mono_scale=mono_scale_b)
+    from repro.imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
+
+    systems = []
+    for client_id, (ds, cfg, seeds) in enumerate(
+        [(ds_a, cfg_a, (7, 11)), (ds_b, cfg_b, (9, 13))]
+    ):
+        system = SlamSystem(
+            ds.camera, cfg, client_id=client_id, vocabulary=VOCAB,
+            gravity=ds.pose_cw(0).rotation @ GRAVITY_W,
+        )
+        oracle = ds.make_oracle(stereo=True, seed=seeds[0])
+        imu = ImuBuffer(synthesize_imu(ds.ground_truth, rate_hz=200.0,
+                                       seed=seeds[1]))
+        prev = None
+        for ts, obs in ds.frames(oracle):
+            delta = preintegrate(imu, prev, ts) if prev is not None else None
+            system.process_frame(ts, obs, imu_delta=delta)
+            prev = ts
+        systems.append(system)
+    return (ds_a, systems[0]), (ds_b, systems[1])
+
+
+# Build once: merging tests share this fixture-ish module state.
+(_DS_A, _SYS_A_TEMPLATE), (_DS_B, _SYS_B_TEMPLATE) = build_two_clients()
+
+
+def fresh_pair():
+    """Re-run is expensive; rebuild the pair per mutation-heavy test."""
+    return build_two_clients()
+
+
+class TestDetectCommonRegion:
+    def test_finds_overlap_between_clients(self):
+        sys_a, sys_b = _SYS_A_TEMPLATE, _SYS_B_TEMPLATE
+        hits = 0
+        for kf in list(sys_b.map.keyframes.values())[:10]:
+            region = detect_common_region(kf, sys_a.map, sys_a.database)
+            if region:
+                hits += 1
+        assert hits >= 5
+
+    def test_excludes_own_client(self):
+        sys_a = _SYS_A_TEMPLATE
+        kf = next(iter(sys_a.map.keyframes.values()))
+        region = detect_common_region(
+            kf, sys_a.map, sys_a.database, exclude_client=0
+        )
+        assert not region
+
+    def test_best_is_highest_score(self):
+        sys_a, sys_b = _SYS_A_TEMPLATE, _SYS_B_TEMPLATE
+        kf = next(iter(sys_b.map.keyframes.values()))
+        region = detect_common_region(kf, sys_a.map, sys_a.database)
+        if region:
+            scores = [c.score for c in region.candidates]
+            assert scores == sorted(scores, reverse=True)
+
+
+class TestMapMerging:
+    def test_merge_two_stereo_maps(self):
+        (ds_a, sys_a), (ds_b, sys_b) = fresh_pair()
+        merger = MapMerger(sys_a.map, sys_a.database, ds_a.camera)
+        result = merger.merge_maps(sys_b.map, client_id=1)
+        assert result.success
+        assert result.transform.scale == pytest.approx(1.0, abs=0.02)
+        # Client B's keyframes landed in the global map, correctly placed.
+        traj_b = sys_a.map.keyframe_trajectory(client_id=1)
+        ate = absolute_trajectory_error(traj_b, ds_b.ground_truth)
+        assert ate.rmse < 0.10
+
+    def test_merge_recovers_mono_scale(self):
+        (ds_a, sys_a), (ds_b, sys_b) = build_two_clients(mono_scale_b=0.75)
+        merger = MapMerger(sys_a.map, sys_a.database, ds_a.camera)
+        result = merger.merge_maps(sys_b.map, client_id=1)
+        assert result.success
+        # Sim3 alignment must rescale B's 0.75x map into A's metric frame.
+        assert result.transform.scale == pytest.approx(1.0 / 0.75, rel=0.05)
+
+    def test_merged_maps_share_one_frame(self):
+        (ds_a, sys_a), (ds_b, sys_b) = fresh_pair()
+        merger = MapMerger(sys_a.map, sys_a.database, ds_a.camera)
+        merger.merge_maps(sys_b.map, client_id=1)
+        # One alignment maps the *combined* keyframe trajectory to the
+        # combined ground truth: the frames are truly shared.
+        traj_a = sys_a.map.keyframe_trajectory(client_id=0)
+        traj_b = sys_a.map.keyframe_trajectory(client_id=1)
+        from repro.geometry import umeyama
+
+        est = np.vstack([traj_a.positions, traj_b.positions])
+        gt = np.vstack(
+            [
+                ds_a.ground_truth.resample(traj_a.timestamps).positions,
+                ds_b.ground_truth.resample(traj_b.timestamps).positions,
+            ]
+        )
+        transform = umeyama(est, gt)
+        residual = np.linalg.norm(gt - transform.apply(est), axis=1)
+        assert np.sqrt((residual ** 2).mean()) < 0.10
+
+    def test_merge_fuses_duplicate_points(self):
+        (ds_a, sys_a), (ds_b, sys_b) = fresh_pair()
+        n_before = sys_a.map.n_mappoints + sys_b.map.n_mappoints
+        merger = MapMerger(sys_a.map, sys_a.database, ds_a.camera)
+        result = merger.merge_maps(sys_b.map, client_id=1)
+        assert result.n_fused_points > 0
+        assert sys_a.map.n_mappoints == n_before - result.n_fused_points
+
+    def test_merge_fails_for_disjoint_maps(self):
+        # A V202 (small Vicon room) map shares no landmarks with MH04.
+        from repro.datasets import euroc_dataset as make
+
+        ds_v = make("V202", duration=6.0, rate=10.0)
+        sys_v, _ = run_system(ds_v, client_id=1)
+        (ds_a, sys_a), _ = fresh_pair()
+        merger = MapMerger(sys_a.map, sys_a.database, ds_a.camera)
+        result = merger.merge_maps(sys_v.map, client_id=1)
+        assert not result.success
+        assert result.n_keyframes_checked > 0
+
+    def test_newest_only_trigger_checks_fewer(self):
+        # Ablation A2: vanilla ORB-SLAM3 merge policy checks only the
+        # newest keyframe; SLAM-Share checks all of them (paper §4.3.1).
+        (ds_a, sys_a), (ds_b, sys_b) = fresh_pair()
+        all_kf = MapMerger(
+            sys_a.map, sys_a.database, ds_a.camera,
+            MergerConfig(check_all_keyframes=True),
+        )
+        result = all_kf.merge_maps(sys_b.map, client_id=1)
+        assert result.success
+        (ds_a2, sys_a2), (ds_b2, sys_b2) = fresh_pair()
+        newest_only = MapMerger(
+            sys_a2.map, sys_a2.database, ds_a2.camera,
+            MergerConfig(check_all_keyframes=False),
+        )
+        result2 = newest_only.merge_maps(sys_b2.map, client_id=1)
+        assert result2.n_keyframes_checked <= 1
+
+    def test_ba_runs_after_merge(self):
+        (ds_a, sys_a), (ds_b, sys_b) = fresh_pair()
+        merger = MapMerger(sys_a.map, sys_a.database, ds_a.camera)
+        result = merger.merge_maps(sys_b.map, client_id=1)
+        assert result.success
+        assert result.ba_stats is not None
+        assert result.ba_stats.n_keyframes >= 2

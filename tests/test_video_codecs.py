@@ -1,0 +1,142 @@
+"""Tests for the PNG-like and H.264-like codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import euroc_dataset
+from repro.geometry import SE3
+from repro.video import (
+    H264LikeCodec,
+    PngLikeCodec,
+    StreamStats,
+    encode_stream,
+    psnr,
+)
+from repro.vision import render_frame
+
+
+def _synthetic_frames(n=12, seed=0, size=(120, 160)):
+    """Slowly panning view of a landmark field: realistic temporal redundancy."""
+    ds = euroc_dataset("MH04", duration=max(n / 10.0, 1.0), rate=10.0)
+    frames = []
+    for i in range(min(n, ds.n_frames)):
+        img = render_frame(
+            ds.world.positions, ds.world.ids, ds.camera, ds.pose_cw(i),
+            rng=np.random.default_rng(seed + i),
+        )
+        frames.append(img.pixels)
+    return frames
+
+
+class TestPngLikeCodec:
+    def test_lossless_roundtrip(self):
+        codec = PngLikeCodec()
+        rng = np.random.default_rng(0)
+        frame = rng.integers(0, 256, size=(60, 80), dtype=np.uint8)
+        encoded = codec.encode(frame)
+        assert np.array_equal(codec.decode(encoded), frame)
+
+    def test_compresses_smooth_content(self):
+        codec = PngLikeCodec()
+        frame = np.tile(np.arange(80, dtype=np.uint8), (60, 1))
+        encoded = codec.encode(frame)
+        assert encoded.n_bytes < frame.nbytes / 5
+
+    def test_all_frames_are_intra(self):
+        codec = PngLikeCodec()
+        for frame in _synthetic_frames(3):
+            assert codec.encode(frame).frame_type == "I"
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=15, deadline=None)
+    def test_property_lossless(self, seed):
+        rng = np.random.default_rng(seed)
+        frame = rng.integers(0, 256, size=(24, 32), dtype=np.uint8)
+        codec = PngLikeCodec()
+        assert np.array_equal(codec.decode(codec.encode(frame)), frame)
+
+
+class TestH264LikeCodec:
+    def test_gop_structure(self):
+        codec = H264LikeCodec(gop=4)
+        frames = _synthetic_frames(8)
+        types = [codec.encode(f).frame_type for f in frames]
+        assert types == ["I", "P", "P", "P", "I", "P", "P", "P"]
+
+    def test_reconstruction_quality(self):
+        codec = H264LikeCodec(gop=10, quantization=8)
+        for frame in _synthetic_frames(6):
+            encoded = codec.encode(frame)
+            decoded = codec.decode(encoded)
+            assert psnr(frame, decoded) > 30.0
+
+    def test_closed_loop_no_drift(self):
+        # P-frame chains must not accumulate error: encoder predicts from
+        # the *decoded* reference.
+        codec = H264LikeCodec(gop=100, quantization=8)
+        frames = _synthetic_frames(12)
+        quality = [psnr(f, codec.decode(codec.encode(f))) for f in frames]
+        assert min(quality[1:]) > min(quality[0], 30.0) - 3.0
+
+    def test_p_frames_much_smaller_than_intra(self):
+        frames = _synthetic_frames(10)
+        inter = H264LikeCodec(gop=30, quantization=8)
+        intra = PngLikeCodec()
+        inter_stats = encode_stream(inter, frames, decode=False)
+        intra_stats = encode_stream(intra, frames, decode=False)
+        # Drop the I-frame from the comparison: steady-state P frames.
+        p_bytes = np.mean(inter_stats.frame_bytes[1:])
+        i_bytes = np.mean(intra_stats.frame_bytes)
+        assert p_bytes < i_bytes / 5
+
+    def test_p_frame_before_i_frame_rejected(self):
+        codec = H264LikeCodec(gop=2)
+        frames = _synthetic_frames(2)
+        codec.encode(frames[0])
+        p = codec.encode(frames[1])
+        fresh = H264LikeCodec(gop=2)
+        with pytest.raises(ValueError):
+            fresh.decode(p)
+
+    def test_reset_forces_intra(self):
+        codec = H264LikeCodec(gop=100)
+        frames = _synthetic_frames(3)
+        codec.encode(frames[0])
+        assert codec.encode(frames[1]).frame_type == "P"
+        codec.reset()
+        assert codec.encode(frames[2]).frame_type == "I"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            H264LikeCodec(gop=0)
+        with pytest.raises(ValueError):
+            H264LikeCodec(quantization=0)
+
+
+class TestStreamStats:
+    def test_bitrate_computation(self):
+        stats = StreamStats()
+        codec = H264LikeCodec()
+        for frame in _synthetic_frames(5):
+            stats.record(codec.encode(frame))
+        assert stats.n_frames == 5
+        # bitrate = mean bytes * 8 * fps
+        assert stats.bitrate_bps(30.0) == pytest.approx(
+            stats.mean_frame_bytes * 8 * 30.0
+        )
+
+    def test_video_vs_image_bandwidth_gap(self):
+        # The Table 3 effect: inter coding cuts bandwidth several-fold on
+        # a panning sequence even with our simple entropy stage (real
+        # H.264 adds transform + arithmetic coding for a ~70x total gap).
+        frames = _synthetic_frames(15)
+        video = encode_stream(H264LikeCodec(gop=30, quantization=8), frames,
+                              decode=False)
+        images = encode_stream(PngLikeCodec(), frames, decode=False)
+        assert video.bitrate_bps(30) < images.bitrate_bps(30) / 4
+
+    def test_psnr_identical_is_inf(self):
+        frame = np.zeros((8, 8), dtype=np.uint8)
+        assert psnr(frame, frame) == float("inf")
