@@ -32,6 +32,7 @@ from . import (
     imu,
     metrics,
     net,
+    obs,
     sharedmem,
     slam,
     video,
@@ -48,6 +49,7 @@ __all__ = [
     "imu",
     "metrics",
     "net",
+    "obs",
     "sharedmem",
     "slam",
     "video",

@@ -4,11 +4,22 @@ Subcommands::
 
     python -m repro.cli session  --traces MH04 MH05 --duration 12
     python -m repro.cli baseline --traces MH04 MH05 --duration 12
+    python -m repro.cli stats    --traces MH04 MH05 --duration 8
     python -m repro.cli info
 
 ``session`` runs a SLAM-Share multi-client session; ``baseline`` the
-Edge-SLAM-style comparison; ``info`` prints the available traces and
-shaping profiles.
+Edge-SLAM-style comparison; ``stats`` runs a session with full
+observability on and prints the aggregated metrics/span summary;
+``info`` prints the available traces, shaping profiles and the current
+observability state.
+
+Observability flags (session/baseline/stats)::
+
+    --trace out.json        write a Chrome-trace (chrome://tracing) file
+    --trace-jsonl out.jsonl write one JSON span per line
+    --metrics               print a metrics snapshot after the run
+    --metrics-out m.json    write the metrics snapshot as JSON
+    --log-level debug       structured logging verbosity
 """
 
 from __future__ import annotations
@@ -28,8 +39,13 @@ from .core import (
 )
 from .datasets import PAPER_TRACES, make_dataset
 from .net import ALL_PROFILES
+from .obs import configure_logging, get_logger, get_metrics, get_tracer
 
 PROFILE_BY_NAME = {p.name: p for p in ALL_PROFILES}
+
+_log = get_logger("cli")
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,6 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="SLAM-Share (CoNEXT 2022) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--log-level", choices=LOG_LEVELS, default="info",
+                       help="structured-logging verbosity")
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a Chrome-trace JSON file of the run")
+        p.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                       help="write spans as JSON lines")
+        p.add_argument("--metrics", action="store_true",
+                       help="collect and print runtime metrics")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the metrics snapshot as JSON")
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -55,13 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="tc-style link shaping profile",
         )
         p.add_argument("--seed", type=int, default=7)
+        add_obs(p)
 
     session = sub.add_parser("session", help="run a SLAM-Share session")
     add_common(session)
     baseline = sub.add_parser("baseline", help="run the Edge-SLAM baseline")
     add_common(baseline)
     baseline.add_argument("--hold-down-frames", type=int, default=50)
-    sub.add_parser("info", help="list traces and shaping profiles")
+    stats = sub.add_parser(
+        "stats", help="run a session with observability on, print stats"
+    )
+    add_common(stats)
+    info = sub.add_parser("info", help="list traces and shaping profiles")
+    add_obs(info)
     return parser
 
 
@@ -88,20 +122,71 @@ def _config(args) -> SlamShareConfig:
     return config
 
 
+# ------------------------------------------------------------------ obs glue
+def _setup_obs(args) -> None:
+    """Enable tracing/metrics according to the parsed CLI flags."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    want_trace = bool(
+        getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
+    )
+    want_metrics = bool(
+        getattr(args, "metrics", False) or getattr(args, "metrics_out", None)
+    )
+    if args.command == "stats":
+        want_trace = True
+        want_metrics = True
+    if want_trace:
+        tracer.reset()
+        tracer.configure(enabled=True)
+        tracer.output_path = (
+            getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
+        )
+    if want_metrics:
+        metrics.reset()
+        metrics.configure(enabled=True)
+        metrics.output_path = getattr(args, "metrics_out", None)
+
+
+def _finish_obs(args) -> None:
+    """Export trace/metrics output after a run."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        n = tracer.export_chrome(trace_path)
+        _log.info("trace: wrote %d events to %s (chrome://tracing)",
+                  n, trace_path)
+    jsonl_path = getattr(args, "trace_jsonl", None)
+    if jsonl_path:
+        n = tracer.export_jsonl(jsonl_path)
+        _log.info("trace: wrote %d spans to %s", n, jsonl_path)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        metrics.export_json(metrics_out)
+        _log.info("metrics: wrote snapshot to %s", metrics_out)
+    if getattr(args, "metrics", False):
+        _log.info("metrics snapshot:\n%s", metrics.render_text())
+
+
+# --------------------------------------------------------------- subcommands
 def cmd_session(args) -> int:
     session = SlamShareSession(_scenarios(args), _config(args),
                                ate_sample_interval=1.0)
     result = session.run()
-    print(f"session: {result.duration:.1f} s simulated, "
-          f"{result.server.global_map.summary()}")
+    _log.info(f"session: {result.duration:.1f} s simulated, "
+              f"{result.server.global_map.summary()}")
     for merge in result.merges:
-        print(f"  merge: client {merge.client_id} at "
-              f"t={merge.session_time:.1f} s in {merge.merge_ms:.0f} ms")
+        _log.info(f"  merge: client {merge.client_id} at "
+                  f"t={merge.session_time:.1f} s in {merge.merge_ms:.0f} ms")
     for client_id, outcome in sorted(result.outcomes.items()):
         ate = result.client_ate(client_id)
-        print(f"  client {client_id}: ATE {ate.rmse * 100:.2f} cm, "
-              f"tracking {np.mean(outcome.tracking_latencies_ms):.1f} ms/frame, "
-              f"{outcome.frames_lost} lost")
+        _log.info(
+            f"  client {client_id}: ATE {ate.rmse * 100:.2f} cm, "
+            f"tracking {np.mean(outcome.tracking_latencies_ms):.1f} ms/frame, "
+            f"{outcome.frames_lost} lost"
+        )
+    _finish_obs(args)
     return 0
 
 
@@ -111,34 +196,66 @@ def cmd_baseline(args) -> int:
         BaselineConfig(hold_down_frames=args.hold_down_frames),
     )
     result = session.run()
-    print(f"baseline: {result.duration:.1f} s simulated, "
-          f"{result.global_map.summary()}")
+    _log.info(f"baseline: {result.duration:.1f} s simulated, "
+              f"{result.global_map.summary()}")
     for client_id, state in sorted(result.clients.items()):
         ate = result.client_ate(client_id)
-        print(f"  client {client_id}: global ATE {ate.rmse * 100:.2f} cm, "
-              f"{state.frames_dropped} frames dropped, "
-              f"{len(state.rounds)} sync rounds, merged={state.merged}")
+        _log.info(f"  client {client_id}: global ATE {ate.rmse * 100:.2f} cm, "
+                  f"{state.frames_dropped} frames dropped, "
+                  f"{len(state.rounds)} sync rounds, merged={state.merged}")
+    _finish_obs(args)
     return 0
 
 
-def cmd_info(_args) -> int:
-    print("traces (paper durations / frame counts):")
+def cmd_stats(args) -> int:
+    """Run a session with full observability and print the aggregates."""
+    session = SlamShareSession(_scenarios(args), _config(args))
+    result = session.run()
+    tracer = get_tracer()
+    metrics = get_metrics()
+    _log.info(f"stats: {result.duration:.1f} s simulated, "
+              f"{len(result.merges)} merges, "
+              f"{len(tracer.spans)} spans recorded")
+    _log.info("spans (count / wall ms / sim ms):")
+    summary = tracer.summary()
+    for name in sorted(summary, key=lambda n: -summary[n]["wall_ms"]):
+        row = summary[name]
+        _log.info(f"  {name:<28} {row['count']:>7}  "
+                  f"{row['wall_ms']:>10.2f} {row['sim_ms']:>10.2f}")
+    _log.info("%s", metrics.render_text())
+    _finish_obs(args)
+    return 0
+
+
+def cmd_info(args) -> int:
+    _log.info("traces (paper durations / frame counts):")
     for name, (duration, frames) in PAPER_TRACES.items():
-        print(f"  {name:<10} {duration:6.1f} s  {frames:5d} frames")
-    print("shaping profiles:")
+        _log.info(f"  {name:<10} {duration:6.1f} s  {frames:5d} frames")
+    _log.info("shaping profiles:")
     for name in sorted(PROFILE_BY_NAME):
         profile = PROFILE_BY_NAME[name]
         bw = (f"{profile.bandwidth_bps / 1e6:.1f} Mbit/s"
               if profile.bandwidth_bps else "unconstrained")
-        print(f"  {name:<24} bw={bw:<16} delay={profile.delay_s * 1e3:.0f} ms")
+        _log.info(f"  {name:<24} bw={bw:<16} delay={profile.delay_s * 1e3:.0f} ms")
+    tracer = get_tracer()
+    metrics = get_metrics()
+    _log.info("observability:")
+    _log.info(f"  tracing: enabled={tracer.enabled} "
+              f"output={tracer.output_path or '-'} "
+              f"spans={len(tracer.spans)}")
+    _log.info(f"  metrics: enabled={metrics.enabled} "
+              f"output={metrics.output_path or '-'}")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=getattr(args, "log_level", "info"))
+    _setup_obs(args)
     handler = {
         "session": cmd_session,
         "baseline": cmd_baseline,
+        "stats": cmd_stats,
         "info": cmd_info,
     }[args.command]
     return handler(args)

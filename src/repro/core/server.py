@@ -20,6 +20,7 @@ import numpy as np
 from ..geometry import SE3, Sim3
 from ..gpu.device import StageBreakdown, TrackingLatencyModel
 from ..imu import ImuDelta
+from ..obs import get_logger, get_metrics, get_tracer, kv
 from ..sharedmem import SharedMapStore
 from ..slam import (
     KeyframeDatabase,
@@ -32,6 +33,24 @@ from ..slam import (
 )
 from ..vision import ObservedFeature, PinholeCamera
 from .config import SlamShareConfig
+
+_log = get_logger("core.server")
+_tracer = get_tracer()
+_metrics = get_metrics()
+_frames_total = _metrics.counter("server.frames", "frames tracked by the server")
+_frames_lost = _metrics.counter("server.frames_lost", "frames that failed tracking")
+_keyframes_total = _metrics.counter("server.keyframes", "keyframes inserted")
+_merges_total = _metrics.counter("server.merges", "successful map merges")
+_merge_attempts = _metrics.counter("server.merge_attempts", "merge attempts")
+_store_bytes = _metrics.counter(
+    "server.store_bytes_written", "bytes published to the shared map store"
+)
+_tracking_hist = _metrics.histogram(
+    "server.tracking_ms", "per-frame simulated tracking latency", unit="ms"
+)
+_merge_hist = _metrics.histogram(
+    "server.merge_ms", "simulated merge latency (Table 4 map_merging)", unit="ms"
+)
 
 
 @dataclass
@@ -130,31 +149,65 @@ class SlamShareServer:
     ) -> ServerFrameResult:
         """Track one uploaded frame for a client (steps 3-7 of Fig. 3)."""
         process = self.processes[client_id]
-        result = process.system.process_frame(
-            timestamp, observations, imu_delta=imu_delta
-        )
-        latency = self.latency_model.breakdown(
-            result.tracking.workload,
-            stereo=self.config.stereo,
-            device="gpu",
-            gpu_share=self.gpu_share(),
-        )
-        store_bytes = 0
-        merge_result = None
-        merge_ms = 0.0
-        if result.keyframe is not None:
-            # Zero-copy publication into the shared global map region.
-            new_points = [
-                process.system.map.mappoints[int(pid)]
-                for pid in result.keyframe.observed_point_ids()
-                if int(pid) in process.system.map.mappoints
-            ]
-            store_bytes = self.store.publish_map([result.keyframe], new_points)
-            if (
-                not process.merged
-                and process.system.map.n_keyframes >= self.config.merge_min_keyframes
-            ):
-                merge_result, merge_ms = self._try_merge(process)
+        with _tracer.span("server.frame", client_id=client_id, t=timestamp):
+            with _tracer.span("tracking", client_id=client_id) as tracking_span:
+                result = process.system.process_frame(
+                    timestamp, observations, imu_delta=imu_delta
+                )
+                latency = self.latency_model.breakdown(
+                    result.tracking.workload,
+                    stereo=self.config.stereo,
+                    device="gpu",
+                    gpu_share=self.gpu_share(),
+                )
+                tracking_span.set(
+                    success=result.tracking.success,
+                    n_matches=result.tracking.n_matches,
+                    sim_ms=latency.total,
+                )
+            _frames_total.inc()
+            if not result.tracking.success:
+                _frames_lost.inc()
+            _tracking_hist.record(latency.total)
+            if _tracer.enabled:
+                # Lay the per-stage GPU breakdown out sequentially on the
+                # sim timeline (the Fig. 5/8 stage vocabulary).
+                base = _tracer.sim_now() or timestamp
+                offset_ms = 0.0
+                tid = f"client-{client_id}"
+                _tracer.sim_event(
+                    "tracking", latency.total, start_s=base, tid=tid,
+                    client_id=client_id,
+                )
+                for stage, stage_ms in latency.as_dict().items():
+                    if stage == "total":
+                        continue
+                    _tracer.sim_event(
+                        stage, stage_ms, start_s=base + offset_ms * 1e-3,
+                        tid=tid, client_id=client_id,
+                    )
+                    offset_ms += stage_ms
+            store_bytes = 0
+            merge_result = None
+            merge_ms = 0.0
+            if result.keyframe is not None:
+                _keyframes_total.inc()
+                # Zero-copy publication into the shared global map region.
+                new_points = [
+                    process.system.map.mappoints[int(pid)]
+                    for pid in result.keyframe.observed_point_ids()
+                    if int(pid) in process.system.map.mappoints
+                ]
+                store_bytes = self.store.publish_map(
+                    [result.keyframe], new_points
+                )
+                _store_bytes.inc(store_bytes)
+                if (
+                    not process.merged
+                    and process.system.map.n_keyframes
+                    >= self.config.merge_min_keyframes
+                ):
+                    merge_result, merge_ms = self._try_merge(process)
         pose = result.pose_cw
         return ServerFrameResult(
             client_id=client_id,
@@ -173,30 +226,55 @@ class SlamShareServer:
         """Process M: align a client's submap into the global map."""
         if self.global_map.n_keyframes == 0:
             return None, 0.0
-        merger = MapMerger(
-            self.global_map,
-            self.global_database,
-            self.camera,
-            self.config.merger,
-        )
-        merge = merger.merge_maps(process.system.map, process.client_id)
-        if not merge.success:
-            # The failed attempt left the client's entities in the
-            # global structures; detach them (without touching the
-            # shared objects — the client's map still uses them) so the
-            # next attempt starts clean.
-            for kf in self.global_map.keyframes_of_client(process.client_id):
-                self.global_database.remove(kf.keyframe_id)
-            self.global_map.detach_client(process.client_id)
-            return None, 0.0
-        process.merged = True
-        process.merge_transform = merge.transform
-        process.system.retarget_to(
-            self.global_map, self.global_database, merge.transform
-        )
-        self.merge_history.append(merge)
-        merge_ms = self.config.merge_cost.slam_share_merge_ms(
-            merge.n_keyframes_checked, merge.n_fused_points
+        _merge_attempts.inc()
+        with _tracer.span(
+            "merge_attempt", client_id=process.client_id
+        ) as attempt_span:
+            merger = MapMerger(
+                self.global_map,
+                self.global_database,
+                self.camera,
+                self.config.merger,
+            )
+            merge = merger.merge_maps(process.system.map, process.client_id)
+            if not merge.success:
+                # The failed attempt left the client's entities in the
+                # global structures; detach them (without touching the
+                # shared objects — the client's map still uses them) so the
+                # next attempt starts clean.
+                for kf in self.global_map.keyframes_of_client(process.client_id):
+                    self.global_database.remove(kf.keyframe_id)
+                self.global_map.detach_client(process.client_id)
+                attempt_span.set(success=False,
+                                 checked=merge.n_keyframes_checked)
+                return None, 0.0
+            process.merged = True
+            process.merge_transform = merge.transform
+            process.system.retarget_to(
+                self.global_map, self.global_database, merge.transform
+            )
+            self.merge_history.append(merge)
+            merge_ms = self.config.merge_cost.slam_share_merge_ms(
+                merge.n_keyframes_checked, merge.n_fused_points
+            )
+            attempt_span.set(success=True, sim_ms=merge_ms,
+                             n_fused=merge.n_fused_points)
+            # The merge round's simulated budget, named after the paper's
+            # Table-4 component so traces line up with the latency table.
+            _tracer.sim_event(
+                "map_merging", merge_ms,
+                tid=f"client-{process.client_id}",
+                client_id=process.client_id,
+                n_fused=merge.n_fused_points,
+                n_keyframes_checked=merge.n_keyframes_checked,
+            )
+        _merges_total.inc()
+        _merge_hist.record(merge_ms)
+        _log.info(
+            "map merge: %s",
+            kv(client=process.client_id, merge_ms=merge_ms,
+               fused=merge.n_fused_points,
+               checked=merge.n_keyframes_checked),
         )
         return merge, merge_ms
 

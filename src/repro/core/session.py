@@ -27,11 +27,23 @@ from ..geometry import SE3, Sim3, Trajectory
 from ..imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
 from ..metrics.ate import absolute_trajectory_error, associate
 from ..net import SimClock, connect
+from ..obs import get_logger, get_metrics, get_tracer, kv
 from ..vision.render import render_frame
 from .client import SlamShareClient
 from .config import SlamShareConfig
 from .holograms import HologramRegistry
 from .server import SlamShareServer
+
+_log = get_logger("core.session")
+_tracer = get_tracer()
+_metrics = get_metrics()
+_pose_rtt_hist = _metrics.histogram(
+    "session.pose_rtt_ms", "capture-to-pose-display round trip (sim)",
+    unit="ms",
+)
+_frames_uploaded = _metrics.counter(
+    "session.frames_uploaded", "camera frames uploaded by clients"
+)
 
 
 @dataclass
@@ -205,6 +217,15 @@ class SlamShareSession:
     # ---------------------------------------------------------------- run
     def run(self) -> SessionResult:
         config = self.config
+        # Spans recorded during the run carry deterministic sim-time
+        # stamps from this session's clock.
+        _tracer.bind_clock(self.clock)
+        _log.info(
+            "session start: %s",
+            kv(clients=len(self.scenarios),
+               shaping=config.shaping.name,
+               fps=config.camera_fps),
+        )
         per_client = {}
         events = []  # (session_time, client_id, frame_index, dataset_ts)
         for scenario in self.scenarios:
@@ -245,6 +266,11 @@ class SlamShareSession:
         # Close CPU accounting windows.
         for client_id, state in per_client.items():
             state["client"].cpu.close_window(max(end_time, 1e-6))
+        _log.info(
+            "session done: %s",
+            kv(duration_s=end_time, merges=len(self.merges),
+               keyframes=self.server.global_map.n_keyframes),
+        )
         return SessionResult(
             config=config,
             server=self.server,
@@ -356,14 +382,15 @@ class SlamShareSession:
             def send_pose() -> None:
                 def on_pose_delivered() -> None:
                     client.receive_server_pose(frame_no, pose)
-                    outcome.pose_rtts_ms.append(
-                        (self.clock.now - captured_at) * 1e3
-                    )
+                    rtt_ms = (self.clock.now - captured_at) * 1e3
+                    outcome.pose_rtts_ms.append(rtt_ms)
+                    _pose_rtt_hist.record(rtt_ms)
 
                 link.downlink.send(128 + 40, on_pose_delivered)
 
             self.clock.schedule(track_s, send_pose)
 
+        _frames_uploaded.inc()
         link.uplink.send(upload.video_bytes + 40, on_uplink_delivered)
 
     # ------------------------------------------------------------- extras

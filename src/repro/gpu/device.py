@@ -21,7 +21,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..obs import get_metrics
 from ..slam.tracking import TrackingWorkload
+
+_metrics = get_metrics()
+_breakdowns_total = _metrics.counter(
+    "gpu.breakdowns", "tracking-stage breakdowns computed"
+)
+# One histogram per Fig. 5/8 tracking stage (simulated milliseconds).
+_STAGE_HISTS = {
+    stage: _metrics.histogram(
+        f"gpu.stage.{stage}_ms", f"{stage} stage latency (sim)", unit="ms"
+    )
+    for stage in (
+        "orb_extraction",
+        "orb_matching",
+        "pose_prediction",
+        "search_local_points",
+        "pnp",
+        "total",
+    )
+}
 
 
 @dataclass(frozen=True)
@@ -139,10 +159,15 @@ class TrackingLatencyModel:
             raise ValueError("gpu_share must be in (0, 1]")
         n_feat = max(workload.n_features, 1)
         matching_ms = n_feat * self.cpu.feature_match_ns * 1e-6
-        return StageBreakdown(
+        result = StageBreakdown(
             orb_extraction=self._extraction_ms(workload, stereo, device, gpu_share),
             orb_matching=matching_ms,
             pose_prediction=self.cpu.pose_predict_us * 1e-3,
             search_local_points=self._search_ms(workload, device, gpu_share),
             pnp=workload.pnp_iterations * self.cpu.pnp_iteration_us * 1e-3,
         )
+        if _metrics.enabled:
+            _breakdowns_total.inc()
+            for stage, stage_ms in result.as_dict().items():
+                _STAGE_HISTS[stage].record(stage_ms)
+        return result

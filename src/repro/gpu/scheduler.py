@@ -15,6 +15,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..net.simclock import SimClock
+from ..obs import get_metrics, get_tracer
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_kernels_total = _metrics.counter("gpu.kernels", "kernels submitted")
+_queue_delay_hist = _metrics.histogram(
+    "gpu.queue_delay_ms", "kernel queueing delay (sim)", unit="ms"
+)
+_kernel_hist = _metrics.histogram(
+    "gpu.kernel_ms", "kernel submit-to-finish latency (sim)", unit="ms"
+)
 
 
 @dataclass
@@ -79,6 +90,19 @@ class GpuScheduler:
             self._busy_until = finish
         record = KernelRecord(client_id, now, start, finish)
         self.records.append(record)
+        _kernels_total.inc()
+        _queue_delay_hist.record(record.queue_delay * 1e3)
+        _kernel_hist.record(record.latency * 1e3)
+        if _tracer.enabled:
+            _tracer.sim_event(
+                "gpu.kernel",
+                (finish - start) * 1e3,
+                start_s=start,
+                tid=f"gpu-client-{client_id}",
+                client_id=client_id,
+                mode=self.mode,
+                queue_delay_ms=record.queue_delay * 1e3,
+            )
         if on_done is not None:
             self.clock.schedule_at(finish, on_done)
         return record

@@ -14,7 +14,16 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs import get_metrics
 from .simclock import SimClock
+
+_metrics = get_metrics()
+_link_bytes = _metrics.counter("net.link_bytes", "bytes placed on links")
+_link_messages = _metrics.counter("net.link_messages", "messages placed on links")
+_link_drops = _metrics.counter("net.link_drops", "messages lost on links")
+_queue_delay_hist = _metrics.histogram(
+    "net.queue_delay_ms", "link FIFO queueing delay (sim)", unit="ms"
+)
 
 
 @dataclass
@@ -76,6 +85,7 @@ class Link:
         """
         if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
             self.stats.messages_dropped += 1
+            _link_drops.inc()
             return float("inf")
         now = self.clock.now
         tx = self.transmission_delay(n_bytes)
@@ -89,6 +99,10 @@ class Link:
         self.stats.messages_sent += 1
         self.stats.bytes_sent += n_bytes
         self.stats.total_queue_delay += queue_delay
+        if _metrics.enabled:
+            _link_messages.inc()
+            _link_bytes.inc(n_bytes)
+            _queue_delay_hist.record(queue_delay * 1e3)
         self.clock.schedule_at(delivery, on_delivered)
         return delivery
 

@@ -21,15 +21,28 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    in_queue: bool = field(default=True, compare=False)
 
 
 class SimClock:
-    """A simulated clock with scheduled callbacks."""
+    """A simulated clock with scheduled callbacks.
+
+    Cancelled events are flagged rather than removed (heap deletion is
+    O(n)); they are skipped on pop and lazily purged in bulk once they
+    outnumber live events, so long-running sims that cancel heavily
+    (e.g. timeout timers rearmed every frame) keep the heap — and
+    :meth:`pending`, which is O(1) — proportional to *live* events.
+    """
+
+    #: Lazy purge triggers only beyond this many cancelled entries, so
+    #: small simulations never pay the rebuild.
+    PURGE_MIN_CANCELLED = 64
 
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: List[_Event] = []
         self._seq = itertools.count()
+        self._n_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -47,13 +60,34 @@ class SimClock:
         return self.schedule(time - self._now, callback)
 
     def cancel(self, event: _Event) -> None:
+        if event.cancelled or not event.in_queue:
+            return
         event.cancelled = True
+        self._n_cancelled += 1
+        if (
+            self._n_cancelled >= self.PURGE_MIN_CANCELLED
+            and self._n_cancelled * 2 > len(self._queue)
+        ):
+            self._purge()
+
+    def _purge(self) -> None:
+        """Drop every cancelled entry and restore the heap invariant."""
+        live, dead = [], []
+        for event in self._queue:
+            (dead if event.cancelled else live).append(event)
+        for event in dead:
+            event.in_queue = False
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._n_cancelled = 0
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False when empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.in_queue = False
             if event.cancelled:
+                self._n_cancelled -= 1
                 continue
             self._now = event.time
             event.callback()
@@ -74,4 +108,5 @@ class SimClock:
                 raise RuntimeError("simulation exceeded event budget (runaway loop?)")
 
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events; O(1)."""
+        return len(self._queue) - self._n_cancelled

@@ -13,11 +13,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from ..obs import get_metrics, get_tracer
 from .link import DuplexLink, Link
 from .simclock import SimClock
 
 FRAME_HEADER_BYTES = 40       # type tag + length + seq + timestamps
 ACK_BYTES = 64                # TCP ACK-ish
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_messages_sent = _metrics.counter(
+    "net.messages_sent", "framed messages sent by endpoints"
+)
+_bytes_sent = _metrics.counter(
+    "net.bytes_sent", "wire bytes sent by endpoints"
+)
+_message_latency_hist = _metrics.histogram(
+    "net.message_latency_ms", "send-to-delivery latency (sim)", unit="ms"
+)
+_rtt_hist = _metrics.histogram(
+    "net.rtt_ms", "timed-transfer round-trip time (sim)", unit="ms"
+)
 
 
 @dataclass
@@ -66,9 +82,13 @@ class Endpoint:
             raise RuntimeError(f"endpoint {self.name} is not connected")
         message = Message(msg_type, payload_bytes, payload, sent_at=self.clock.now)
         self.sent.append(message)
+        if _metrics.enabled:
+            _messages_sent.inc()
+            _bytes_sent.inc(message.wire_bytes)
 
         def deliver() -> None:
             message.delivered_at = self.clock.now
+            _message_latency_hist.record(message.latency * 1e3)
             self._peer.received.append(message)
             handler = self._peer._handlers.get(msg_type)
             if handler is not None:
@@ -115,4 +135,11 @@ def timed_transfer(
     while done["at"] is None:
         if not clock.step():
             raise RuntimeError("transfer never completed (message lost?)")
-    return done["at"] - start
+    rtt = done["at"] - start
+    _rtt_hist.record(rtt * 1e3)
+    if _tracer.enabled:
+        _tracer.sim_event(
+            "net.timed_transfer", rtt * 1e3, start_s=start, tid="net",
+            bytes=n_bytes,
+        )
+    return rtt

@@ -1,0 +1,38 @@
+"""Observability: structured logging, tracing, and metrics.
+
+The paper's whole evaluation is a latency/throughput story (Tables 1-4,
+Figs. 5-13); this package is the runtime instrumentation layer the rest
+of the pipeline reports into.  Three pieces:
+
+* :mod:`repro.obs.logging` — per-component named loggers with one
+  ``configure()`` entry point;
+* :mod:`repro.obs.trace` — nested spans stamped in both wall-clock and
+  simulated time, exporting to JSONL and Chrome ``chrome://tracing``;
+* :mod:`repro.obs.metrics` — counters, gauges and HDR-style histograms
+  with p50/p95/p99 queries and text/JSON snapshots.
+
+Everything is disabled by default and near-free while disabled; the CLI
+(``repro session --trace out.json --metrics``) switches it on.  This
+package deliberately imports nothing from the rest of ``repro`` so any
+module can instrument itself without cycles.
+"""
+
+from .logging import configure as configure_logging
+from .logging import get_logger, kv
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from .trace import Span, Tracer, get_tracer, traced
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "kv",
+    "traced",
+]

@@ -1,0 +1,260 @@
+"""Counters, gauges and HDR-style histograms for the repro pipeline.
+
+A single process-wide :class:`MetricsRegistry` hands out named
+instruments.  Instruments are cheap module-level singletons: an
+``inc``/``record`` on a disabled registry is one attribute check and a
+return, so instrumented hot paths (arena allocations, link sends) stay
+near-free until the CLI turns metrics on.
+
+Histograms are HDR-style: values land in geometrically spaced buckets
+(growth factor 1.1 ≈ 5 % relative resolution over any dynamic range),
+so p50/p95/p99 are O(buckets) with bounded relative error and constant
+memory — no sample retention.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_metrics",
+]
+
+_GROWTH = 1.1
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, ...)."""
+
+    __slots__ = ("name", "help", "value", "_reg")
+
+    def __init__(self, name: str, help: str, reg: "MetricsRegistry") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+        self._reg = reg
+
+    def inc(self, n: float = 1) -> None:
+        if self._reg.enabled:
+            self.value += n
+
+
+class Gauge:
+    """Last-written value (utilization, queue depth, ...)."""
+
+    __slots__ = ("name", "help", "value", "_reg")
+
+    def __init__(self, name: str, help: str, reg: "MetricsRegistry") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self._reg = reg
+
+    def set(self, value: float) -> None:
+        if self._reg.enabled:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        if self._reg.enabled:
+            self.value += delta
+
+
+class Histogram:
+    """Geometric-bucket (HDR-style) histogram with percentile queries."""
+
+    __slots__ = ("name", "help", "unit", "_reg", "_buckets", "_zero",
+                 "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, help: str, reg: "MetricsRegistry",
+                 unit: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.unit = unit
+        self._reg = reg
+        self._buckets: Dict[int, int] = {}
+        self._zero = 0          # values <= 0 (or exactly zero durations)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        if not self._reg.enabled:
+            return
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if value <= 0.0:
+                self._zero += 1
+                return
+            index = math.floor(math.log(value) / _LOG_GROWTH)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within ~5 % relative error."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self._zero
+        if seen >= rank:
+            return 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen >= rank:
+                # Geometric bucket midpoint (clamped to observed extremes).
+                mid = _GROWTH ** index * (1.0 + _GROWTH) / 2.0
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def snapshot(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Process-wide named instruments plus snapshot/rendering."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.output_path: Optional[str] = None   # reported by `repro info`
+        self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------- configuration
+    def configure(self, enabled: bool = True) -> "MetricsRegistry":
+        self.enabled = enabled
+        return self
+
+    def reset(self) -> None:
+        """Zero every instrument in place (references stay valid)."""
+        with self._lock:
+            for inst in self._instruments.values():
+                if isinstance(inst, Counter):
+                    inst.value = 0
+                elif isinstance(inst, Gauge):
+                    inst.value = 0.0
+                elif isinstance(inst, Histogram):
+                    inst._buckets.clear()
+                    inst._zero = 0
+                    inst.count = 0
+                    inst.total = 0.0
+                    inst.min = math.inf
+                    inst.max = -math.inf
+
+    # --------------------------------------------------------- instruments
+    def _get_or_create(self, name: str, cls, **kwargs):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name=name, reg=self, **kwargs)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}"
+                )
+            return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(self, name: str, help: str = "", unit: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, help=help, unit=unit)
+
+    # -------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name, inst in sorted(instruments.items()):
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            elif isinstance(inst, Histogram):
+                histograms[name] = inst.snapshot()
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def render_text(self) -> str:
+        """Aligned, human-readable snapshot (the `repro stats` view)."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<36} {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name:<36} {value:.3f}")
+        if snap["histograms"]:
+            lines.append("histograms (count / mean / p50 / p95 / p99):")
+            for name, h in snap["histograms"].items():
+                if h["count"] == 0:
+                    lines.append(f"  {name:<36} 0")
+                    continue
+                unit = self._instruments[name].unit
+                lines.append(
+                    f"  {name:<36} {h['count']:>7}  "
+                    f"{h['mean']:>10.3f} {h['p50']:>10.3f} "
+                    f"{h['p95']:>10.3f} {h['p99']:>10.3f} {unit}"
+                )
+        return "\n".join(lines) if lines else "(no metrics registered)"
+
+    def export_json(self, path: str) -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry singleton."""
+    return _METRICS

@@ -11,10 +11,26 @@ and sufficient for map workloads (large, long-lived records).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..obs import get_metrics
+
 ALIGNMENT = 8
+
+_metrics = get_metrics()
+_allocs_total = _metrics.counter("sharedmem.allocs", "arena allocations")
+_frees_total = _metrics.counter("sharedmem.frees", "arena frees")
+_alloc_bytes = _metrics.counter(
+    "sharedmem.alloc_bytes", "bytes handed out by the arena"
+)
+_alloc_hist = _metrics.histogram(
+    "sharedmem.alloc_us", "arena allocation wall time", unit="us"
+)
+_util_gauge = _metrics.gauge(
+    "sharedmem.utilization", "arena bytes allocated / capacity"
+)
 
 
 class ArenaError(RuntimeError):
@@ -59,6 +75,8 @@ class Arena:
         """Reserve ``size`` bytes; returns the offset."""
         if size <= 0:
             raise ArenaError(f"invalid allocation size {size}")
+        observe = _metrics.enabled
+        t0 = time.perf_counter_ns() if observe else 0
         need = self._align(size)
         for i, (offset, free_size) in enumerate(self._free):
             if free_size >= need:
@@ -70,6 +88,12 @@ class Arena:
                 self._blocks[offset] = need
                 self._allocated += need
                 self._peak = max(self._peak, self._allocated)
+                if observe:
+                    _allocs_total.inc()
+                    _alloc_bytes.inc(need)
+                    _alloc_hist.record((time.perf_counter_ns() - t0) / 1e3)
+                    _util_gauge.set(self._allocated / self.capacity
+                                    if self.capacity else 0.0)
                 return offset
         raise ArenaError(
             f"arena exhausted: need {need} bytes, "
@@ -82,6 +106,10 @@ class Arena:
         if size is None:
             raise ArenaError(f"free of unallocated offset {offset}")
         self._allocated -= size
+        if _metrics.enabled:
+            _frees_total.inc()
+            _util_gauge.set(self._allocated / self.capacity
+                            if self.capacity else 0.0)
         # Insert sorted and coalesce.
         self._free.append((offset, size))
         self._free.sort()

@@ -15,9 +15,11 @@ true cross-process operation (see :mod:`repro.sharedmem.shm_backend`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from ..obs import get_metrics, get_tracer
 from ..slam.keyframe import KeyFrame
 from ..slam.mappoint import MapPoint
 from .arena import Arena, ArenaStats
@@ -32,6 +34,18 @@ from .records import (
 from .rwlock import RWLock
 
 DEFAULT_CAPACITY = 256 * 1024 * 1024  # scaled-down 2 GB region
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_publishes_total = _metrics.counter(
+    "sharedmem.publishes", "map-update batches published"
+)
+_publish_bytes = _metrics.counter(
+    "sharedmem.publish_bytes", "bytes written by map publishes"
+)
+_publish_hist = _metrics.histogram(
+    "sharedmem.publish_ms", "publish_map wall time", unit="ms"
+)
 
 
 @dataclass
@@ -136,13 +150,22 @@ class SharedMapStore:
         update' operation — contrast with the baseline, which must
         serialize the same entities, ship them and rebuild them.
         """
+        observe = _metrics.enabled
+        t0 = time.perf_counter_ns() if observe else 0
         total = 0
-        for kf in keyframes:
-            self.put_keyframe(kf)
-            total += keyframe_record_size(len(kf), len(kf.bow_vector))
-        for point in mappoints:
-            self.put_mappoint(point)
-            total += mappoint_record_size(len(point.observations))
+        with _tracer.span("sharedmem.publish") as span:
+            for kf in keyframes:
+                self.put_keyframe(kf)
+                total += keyframe_record_size(len(kf), len(kf.bow_vector))
+            for point in mappoints:
+                self.put_mappoint(point)
+                total += mappoint_record_size(len(point.observations))
+            span.set(bytes=total, n_keyframes=len(keyframes),
+                     n_mappoints=len(mappoints))
+        if observe:
+            _publishes_total.inc()
+            _publish_bytes.inc(total)
+            _publish_hist.record((time.perf_counter_ns() - t0) / 1e6)
         return total
 
     def stats(self) -> StoreStats:

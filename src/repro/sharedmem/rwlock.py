@@ -11,7 +11,18 @@ writer starvation.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
+
+from ..obs import get_metrics
+
+_metrics = get_metrics()
+_read_waits = _metrics.histogram(
+    "sharedmem.lock_wait_read_us", "read-lock acquisition wait", unit="us"
+)
+_write_waits = _metrics.histogram(
+    "sharedmem.lock_wait_write_us", "write-lock acquisition wait", unit="us"
+)
 
 
 class RWLock:
@@ -27,6 +38,8 @@ class RWLock:
         self.write_acquisitions = 0
 
     def acquire_read(self, timeout: float = None) -> bool:
+        observe = _metrics.enabled
+        t0 = time.perf_counter_ns() if observe else 0
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: not self._writer_active and self._writers_waiting == 0,
@@ -36,6 +49,8 @@ class RWLock:
                 return False
             self._readers += 1
             self.read_acquisitions += 1
+            if observe:
+                _read_waits.record((time.perf_counter_ns() - t0) / 1e3)
             return True
 
     def release_read(self) -> None:
@@ -47,6 +62,8 @@ class RWLock:
                 self._cond.notify_all()
 
     def acquire_write(self, timeout: float = None) -> bool:
+        observe = _metrics.enabled
+        t0 = time.perf_counter_ns() if observe else 0
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -58,6 +75,8 @@ class RWLock:
                     return False
                 self._writer_active = True
                 self.write_acquisitions += 1
+                if observe:
+                    _write_waits.record((time.perf_counter_ns() - t0) / 1e3)
                 return True
             finally:
                 self._writers_waiting -= 1

@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..geometry import Sim3, ransac_umeyama
+from ..metrics.latency import TABLE4_COMPONENTS
+from ..obs import get_metrics, get_tracer
 from ..vision.camera import PinholeCamera
 from ..vision.matching import match_descriptors
 from .bow import KeyframeDatabase
@@ -31,6 +33,20 @@ from .bundle_adjustment import BAStats, local_bundle_adjustment
 from .keyframe import KeyFrame
 from .map import SlamMap
 from .place_recognition import detect_common_region
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_bow_queries = _metrics.counter(
+    "merge.bow_queries", "DetectCommonRegion queries during merging"
+)
+_fused_points = _metrics.counter(
+    "merge.fused_points", "duplicate map points fused by merges"
+)
+
+# Alg.-2 merge rounds are traced under the paper's Table-4 component
+# name so trace output lines up with the latency-table vocabulary.
+MERGE_SPAN = "map_merging"
+assert MERGE_SPAN in TABLE4_COMPONENTS
 
 
 @dataclass
@@ -131,35 +147,53 @@ class MapMerger:
         if not cfg.check_all_keyframes:
             client_kfs = client_kfs[-1:]
         checked = 0
-        for kf in client_kfs:
-            checked += 1
-            region = detect_common_region(
-                kf,
-                self.map,
-                self.database,
-                min_score=cfg.min_bow_score,
-                exclude_client=client_id,
-            )
-            if not region:
-                continue
-            for candidate in region.candidates:
-                global_kf = self.map.keyframes[candidate.keyframe_id]
-                src, dst, id_pairs = self._correspondences(kf, global_kf)
-                if len(src) < cfg.min_correspondences:
+        with _tracer.span(MERGE_SPAN, client_id=client_id) as merge_span:
+            for kf in client_kfs:
+                checked += 1
+                _bow_queries.inc()
+                with _tracer.span(
+                    "detect_common_region", keyframe_id=kf.keyframe_id
+                ):
+                    region = detect_common_region(
+                        kf,
+                        self.map,
+                        self.database,
+                        min_score=cfg.min_bow_score,
+                        exclude_client=client_id,
+                    )
+                if not region:
                     continue
-                transform, mask = ransac_umeyama(
-                    src,
-                    dst,
-                    self._rng,
-                    with_scale=cfg.with_scale,
-                    inlier_threshold=cfg.ransac_inlier_threshold,
-                    min_inliers=cfg.min_correspondences,
-                )
-                if transform is None:
-                    continue
-                return self._apply_merge(
-                    client_id, kf, global_kf, transform, id_pairs, mask, checked
-                )
+                for candidate in region.candidates:
+                    global_kf = self.map.keyframes[candidate.keyframe_id]
+                    with _tracer.span("correspondences"):
+                        src, dst, id_pairs = self._correspondences(
+                            kf, global_kf
+                        )
+                    if len(src) < cfg.min_correspondences:
+                        continue
+                    with _tracer.span(
+                        "estimate_sim3", n_pairs=len(id_pairs)
+                    ):
+                        transform, mask = ransac_umeyama(
+                            src,
+                            dst,
+                            self._rng,
+                            with_scale=cfg.with_scale,
+                            inlier_threshold=cfg.ransac_inlier_threshold,
+                            min_inliers=cfg.min_correspondences,
+                        )
+                    if transform is None:
+                        continue
+                    result = self._apply_merge(
+                        client_id, kf, global_kf, transform, id_pairs, mask,
+                        checked,
+                    )
+                    merge_span.set(
+                        success=True, n_keyframes_checked=checked,
+                        n_fused=result.n_fused_points,
+                    )
+                    return result
+            merge_span.set(success=False, n_keyframes_checked=checked)
         return MergeResult(success=False, n_keyframes_checked=checked)
 
     def merge_maps(self, client_map: SlamMap, client_id: int) -> MergeResult:
@@ -178,16 +212,20 @@ class MapMerger:
         checked: int,
     ) -> MergeResult:
         # Lines 10-12: snap every client entity into the global frame.
-        self.map.apply_transform_to_client(transform, client_id)
+        with _tracer.span("apply_transform", client_id=client_id):
+            self.map.apply_transform_to_client(transform, client_id)
         # Fuse duplicate landmarks: the client's matched points are
         # replaced by their global counterparts.
         fused = 0
-        for (pid_c, pid_g), inlier in zip(id_pairs, inlier_mask):
-            if not inlier:
-                continue
-            self.map.replace_mappoint(pid_c, pid_g)
-            fused += 1
-        self.map.rebuild_covisibility()
+        with _tracer.span("fuse_points") as fuse_span:
+            for (pid_c, pid_g), inlier in zip(id_pairs, inlier_mask):
+                if not inlier:
+                    continue
+                self.map.replace_mappoint(pid_c, pid_g)
+                fused += 1
+            self.map.rebuild_covisibility()
+            fuse_span.set(n_fused=fused)
+        _fused_points.inc(fused)
         # Lines 13-15: weld-local bundle adjustment.
         window = (
             [client_kf.keyframe_id, global_kf.keyframe_id]
@@ -195,13 +233,14 @@ class MapMerger:
             + self.map.covisible_keyframes(client_kf.keyframe_id)[:4]
         )
         window = [k for k in dict.fromkeys(window) if k in self.map.keyframes]
-        ba_stats = local_bundle_adjustment(
-            self.map,
-            self.camera,
-            window,
-            fixed_keyframe_ids={global_kf.keyframe_id},
-            iterations=self.config.ba_iterations,
-        )
+        with _tracer.span("weld_ba", window=len(window)):
+            ba_stats = local_bundle_adjustment(
+                self.map,
+                self.camera,
+                window,
+                fixed_keyframe_ids={global_kf.keyframe_id},
+                iterations=self.config.ba_iterations,
+            )
         return MergeResult(
             success=True,
             transform=transform,

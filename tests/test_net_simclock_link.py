@@ -88,6 +88,52 @@ class TestSimClock:
         clock.cancel(e)
         assert clock.pending() == 1
 
+    def test_cancelled_events_lazily_purged(self):
+        """Long-running sims that rearm timers must not grow the heap.
+
+        Regression: cancel() used to only flag events, leaving them in
+        the heap until their timestamp popped, and pending() walked the
+        whole queue.  Cancel far-future timers en masse and check the
+        heap shrinks to the live events.
+        """
+        clock = SimClock()
+        fired = []
+        # One live event plus a large batch of soon-cancelled timers,
+        # as a per-frame timeout that is rearmed every frame produces.
+        clock.schedule(1.0, lambda: fired.append(clock.now))
+        timers = [clock.schedule(1e6 + i, lambda: None) for i in range(5000)]
+        for event in timers:
+            clock.cancel(event)
+        assert clock.pending() == 1
+        # The bulk purge ran: the heap no longer holds the dead timers.
+        assert len(clock._queue) < len(timers) // 2
+        clock.run(until=2.0)
+        assert fired == [1.0]
+        assert clock.pending() == 0
+
+    def test_double_cancel_is_idempotent(self):
+        clock = SimClock()
+        live = clock.schedule(1.0, lambda: None)
+        event = clock.schedule(2.0, lambda: None)
+        clock.cancel(event)
+        clock.cancel(event)
+        assert clock.pending() == 1
+        clock.run()
+        assert clock.pending() == 0
+        clock.cancel(live)  # cancelling an already-fired event is harmless
+        assert clock.pending() == 0
+
+    def test_interleaved_cancel_preserves_order(self):
+        clock = SimClock()
+        order = []
+        events = [
+            clock.schedule(t, lambda t=t: order.append(t))
+            for t in (3.0, 1.0, 2.0, 4.0)
+        ]
+        clock.cancel(events[2])  # drop t=2.0
+        clock.run()
+        assert order == [1.0, 3.0, 4.0]
+
 
 class TestLink:
     def test_transmission_delay(self):
