@@ -1,0 +1,337 @@
+"""Wall-clock perf harness for the tracking/matching hot path.
+
+Times the real (not simulated) cost of the kernels the paper
+parallelizes — all-pairs Hamming, search-local-points, FAST NMS,
+descriptor matching — each against its naive reference formulation,
+plus an end-to-end multi-client session, and writes a JSON baseline
+(``BENCH_PR2.json``) so later PRs have a perf trajectory to compare
+against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py               # full run
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke       # CI-sized
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke \
+        --check BENCH_PR2.json                                        # regression gate
+
+The regression gate compares *speedups* (fast vs naive, measured in
+the same process) rather than absolute milliseconds, so it is stable
+across machines: it fails when any kernel's measured speedup drops
+below half of the committed baseline's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.obs import get_metrics
+from repro.vision.brief import (
+    hamming_distance_matrix,
+    hamming_distance_matrix_lut,
+)
+from repro.vision.fast import (
+    _collect_keypoints,
+    _collect_keypoints_reference,
+    detect_fast_vectorized,
+)
+from repro.vision.matching import (
+    FrameGrid,
+    Match,
+    match_descriptors,
+    search_by_projection_dense,
+    search_by_projection_vectorized,
+)
+
+
+def _match_descriptors_naive(query, train, max_distance=64, ratio=0.8,
+                             cross_check=True):
+    """The pre-vectorization per-row loop, kept as the naive baseline."""
+    if len(query) == 0 or len(train) == 0:
+        return []
+    distances = hamming_distance_matrix_lut(query, train)
+    best = distances.argmin(axis=1)
+    best_dist = distances[np.arange(len(query)), best]
+    matches = []
+    reverse_best = distances.argmin(axis=0) if cross_check else None
+    for qi in range(len(query)):
+        ti = int(best[qi])
+        dist = int(best_dist[qi])
+        if dist > max_distance:
+            continue
+        if len(train) > 1:
+            row = distances[qi].copy()
+            row[ti] = np.iinfo(row.dtype).max
+            second = int(row.min())
+            if second > 0 and dist > ratio * second:
+                continue
+        if cross_check and int(reverse_best[ti]) != qi:
+            continue
+        matches.append(Match(qi, ti, dist))
+    return matches
+
+
+def _time_ms(fn: Callable[[], object], repeats: int) -> List[float]:
+    fn()  # warmup
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return samples
+
+
+def _stats(samples: List[float]) -> Dict[str, float]:
+    arr = np.asarray(samples)
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)), 4),
+        "p95_ms": round(float(np.percentile(arr, 95)), 4),
+    }
+
+
+def _op_entry(name: str, naive: Callable[[], object],
+              fast: Callable[[], object], repeats: int,
+              detail: str) -> Dict[str, object]:
+    naive_samples = _time_ms(naive, repeats)
+    fast_samples = _time_ms(fast, repeats)
+    naive_stats = _stats(naive_samples)
+    fast_stats = _stats(fast_samples)
+    speedup = naive_stats["p50_ms"] / max(fast_stats["p50_ms"], 1e-9)
+    entry = {
+        "detail": detail,
+        "naive": naive_stats,
+        "fast": fast_stats,
+        "speedup": round(speedup, 2),
+    }
+    print(f"  {name:<28} naive p50 {naive_stats['p50_ms']:>9.3f} ms   "
+          f"fast p50 {fast_stats['p50_ms']:>9.3f} ms   {speedup:>7.1f}x")
+    return entry
+
+
+def bench_kernels(smoke: bool) -> Dict[str, Dict[str, object]]:
+    repeats = 3 if smoke else 15
+    rng = np.random.default_rng(7)
+    ops: Dict[str, Dict[str, object]] = {}
+    print("kernel microbenchmarks (wall-clock):")
+
+    # --- all-pairs Hamming at the acceptance-criteria scale ----------
+    m, n = (120, 240) if smoke else (500, 1000)
+    desc_a = rng.integers(0, 256, (m, 32), dtype=np.uint8)
+    desc_b = rng.integers(0, 256, (n, 32), dtype=np.uint8)
+    ops["hamming_distance_matrix"] = _op_entry(
+        "hamming_distance_matrix",
+        lambda: hamming_distance_matrix_lut(desc_a, desc_b),
+        lambda: hamming_distance_matrix(desc_a, desc_b),
+        repeats,
+        f"{m}x{n} packed 256-bit descriptors, LUT tensor vs u64 popcount",
+    )
+
+    # --- search-by-projection at tracking scale ----------------------
+    n_pts, n_feats = (150, 80) if smoke else (600, 250)
+    proj_uv = np.column_stack(
+        [rng.uniform(0, 752, n_pts), rng.uniform(0, 480, n_pts)]
+    )
+    frame_uv = (
+        proj_uv[rng.choice(n_pts, n_feats, replace=False)]
+        + rng.normal(0, 3.0, (n_feats, 2))
+    )
+    point_desc = rng.integers(0, 256, (n_pts, 32), dtype=np.uint8)
+    frame_desc = rng.integers(0, 256, (n_feats, 32), dtype=np.uint8)
+
+    def run_dense():
+        return search_by_projection_dense(
+            proj_uv, point_desc, frame_uv, frame_desc,
+            radius=10.0, max_distance=300,
+        )
+
+    def run_grid():
+        grid = FrameGrid(frame_uv)  # built fresh: honest per-frame cost
+        return search_by_projection_vectorized(
+            proj_uv, point_desc, frame_uv, frame_desc,
+            radius=10.0, max_distance=300, grid=grid,
+        )
+
+    assert (
+        [(x.query_idx, x.train_idx, x.distance) for x in run_dense()]
+        == [(x.query_idx, x.train_idx, x.distance) for x in run_grid()]
+    ), "grid search diverged from dense reference"
+    ops["search_by_projection"] = _op_entry(
+        "search_by_projection",
+        run_dense,
+        run_grid,
+        repeats,
+        f"{n_pts} local points x {n_feats} features, r=10px, "
+        "dense matrices vs frame-grid pruning",
+    )
+
+    # --- FAST NMS ----------------------------------------------------
+    h, w = (120, 160) if smoke else (480, 640)
+    scores = rng.integers(0, 40, (h, w)).astype(np.float32)
+    scores[scores < 38] = 0.0  # ~5% corner density, like a real response map
+    ops["fast_nms"] = _op_entry(
+        "fast_nms",
+        lambda: _collect_keypoints_reference(scores, True),
+        lambda: _collect_keypoints(scores, True),
+        repeats,
+        f"{h}x{w} score map, 8-shift loop vs single-pass shifted-max",
+    )
+
+    # --- brute-force matching with ratio test ------------------------
+    q_n, t_n = (80, 80) if smoke else (400, 400)
+    query = rng.integers(0, 256, (q_n, 32), dtype=np.uint8)
+    train = np.array(
+        [np.where(rng.random(32) < 0.1, rng.integers(0, 256, 32), d)
+         for d in query],
+        dtype=np.uint8,
+    )[rng.permutation(t_n)]
+    assert (
+        [(x.query_idx, x.train_idx, x.distance)
+         for x in _match_descriptors_naive(query, train)]
+        == [(x.query_idx, x.train_idx, x.distance)
+            for x in match_descriptors(query, train)]
+    ), "vectorized match_descriptors diverged from reference"
+    ops["match_descriptors"] = _op_entry(
+        "match_descriptors",
+        lambda: _match_descriptors_naive(query, train),
+        lambda: match_descriptors(query, train),
+        repeats,
+        f"{q_n}x{t_n} descriptors, per-row python loop vs partition",
+    )
+
+    # --- full FAST detection (exercises the new NMS in context) ------
+    img = rng.integers(0, 256, ((96, 128) if smoke else (240, 320)),
+                       dtype=np.uint8)
+    fast_samples = _time_ms(lambda: detect_fast_vectorized(img), repeats)
+    ops["detect_fast_vectorized"] = {
+        "detail": f"{img.shape[0]}x{img.shape[1]} random image, end-to-end",
+        "fast": _stats(fast_samples),
+    }
+    print(f"  {'detect_fast_vectorized':<28} "
+          f"p50 {ops['detect_fast_vectorized']['fast']['p50_ms']:>9.3f} ms")
+    return ops
+
+
+def bench_end_to_end(smoke: bool) -> Dict[str, object]:
+    """Wall-clock per-frame cost of a 4-client SLAM-Share session."""
+    from repro.core import ClientScenario, SlamShareSession
+    from repro.datasets import euroc_dataset
+
+    duration = 4.0 if smoke else 12.0
+    rate = 10.0
+    scenarios = [
+        ClientScenario(0, euroc_dataset("MH04", duration=duration, rate=rate)),
+        ClientScenario(1, euroc_dataset("MH05", duration=duration, rate=rate),
+                       start_time=1.0, oracle_seed=9, imu_seed=13),
+        ClientScenario(2, euroc_dataset("MH04", duration=duration, rate=rate),
+                       start_time=2.0, oracle_seed=21, imu_seed=23),
+        ClientScenario(3, euroc_dataset("V202", duration=duration, rate=rate),
+                       start_time=3.0, oracle_seed=33, imu_seed=37),
+    ]
+    metrics = get_metrics()
+    was_enabled = metrics.enabled
+    metrics.configure(True)
+    metrics.reset()
+    wall_start = time.perf_counter()
+    session = SlamShareSession(scenarios)
+    result = session.run()
+    total_s = time.perf_counter() - wall_start
+    hist = metrics.histogram("server.wall_ms")
+    frame_stats = {
+        "count": hist.count,
+        "p50_ms": round(hist.p50, 3),
+        "p95_ms": round(hist.p95, 3),
+        "mean_ms": round(hist.mean, 3),
+    }
+    metrics.configure(was_enabled)
+    frames = sum(o.frames_processed for o in result.outcomes.values())
+    entry = {
+        "detail": f"4 clients, {duration:.0f}s EuRoC traces @ {rate:.0f} FPS",
+        "n_clients": 4,
+        "frames": frames,
+        "session_wall_s": round(total_s, 2),
+        "server_frame": frame_stats,
+    }
+    print("end-to-end 4-client session:")
+    print(f"  frames {frames}, session wall {total_s:.1f}s, "
+          f"server frame p50 {frame_stats['p50_ms']:.2f} ms "
+          f"p95 {frame_stats['p95_ms']:.2f} ms")
+    return entry
+
+
+def check_regression(report: Dict, baseline_path: str) -> int:
+    """Fail (non-zero) if any kernel speedup halved vs the baseline.
+
+    Speedups shrink with problem size, so smoke runs compare against the
+    baseline's ``smoke_ops`` section, full runs against ``ops``.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    section = "smoke_ops" if report["mode"] == "smoke" else "ops"
+    baseline_ops = baseline.get(section) or baseline.get("ops", {})
+    failures = []
+    for op, entry in baseline_ops.items():
+        base_speedup = entry.get("speedup")
+        if base_speedup is None:
+            continue
+        current = report["ops"].get(op, {}).get("speedup")
+        if current is None:
+            failures.append(f"{op}: missing from current run")
+            continue
+        if current < base_speedup / 2.0:
+            failures.append(
+                f"{op}: speedup {current:.1f}x < half of baseline "
+                f"{base_speedup:.1f}x"
+            )
+    if failures:
+        print("PERF REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"regression check vs {baseline_path} [{section}]: ok "
+          f"({len(baseline_ops)} ops)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes / few repeats (CI)")
+    parser.add_argument("--skip-e2e", action="store_true",
+                        help="kernel microbenchmarks only")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (e.g. BENCH_PR2.json)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare speedups against a committed baseline; "
+                             "exit non-zero on a >2x regression")
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "generated_by": "benchmarks/bench_wallclock.py",
+        "ops": bench_kernels(args.smoke),
+    }
+    if not args.smoke and args.out:
+        # Also record smoke-sized speedups so CI smoke runs have a
+        # like-for-like section to regression-check against.
+        print("smoke-sized reference pass (for CI --check):")
+        report["smoke_ops"] = bench_kernels(True)
+    if not args.skip_e2e:
+        report["end_to_end"] = bench_end_to_end(args.smoke)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        return check_regression(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

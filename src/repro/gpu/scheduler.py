@@ -16,9 +16,13 @@ from typing import Dict, List, Optional
 
 from ..net.simclock import SimClock
 from ..obs import get_metrics, get_tracer
+from ..obs.metrics import Histogram, MetricsRegistry
 
 _tracer = get_tracer()
 _metrics = get_metrics()
+# Private always-on registry backing per-scheduler latency histograms,
+# independent of whether the CLI enabled global metrics.
+_scheduler_stats = MetricsRegistry().configure(True)
 _kernels_total = _metrics.counter("gpu.kernels", "kernels submitted")
 _queue_delay_hist = _metrics.histogram(
     "gpu.queue_delay_ms", "kernel queueing delay (sim)", unit="ms"
@@ -64,6 +68,15 @@ class GpuScheduler:
         self.saturation_clients = saturation_clients
         self.records: List[KernelRecord] = []
         self._busy_until = 0.0  # temporal mode FIFO
+        # Running aggregates: latency queries are O(1)/O(buckets) rather
+        # than a rescan or sort of the full record list per call.
+        self._latency_sum = 0.0
+        self._latency_sums_by_client: Dict[int, float] = {}
+        self._counts_by_client: Dict[int, int] = {}
+        self._latency_hist = Histogram(
+            "gpu.scheduler.latency", "per-scheduler kernel latency",
+            _scheduler_stats, unit="s",
+        )
 
     @property
     def client_share(self) -> float:
@@ -90,6 +103,14 @@ class GpuScheduler:
             self._busy_until = finish
         record = KernelRecord(client_id, now, start, finish)
         self.records.append(record)
+        self._latency_sum += record.latency
+        self._latency_sums_by_client[client_id] = (
+            self._latency_sums_by_client.get(client_id, 0.0) + record.latency
+        )
+        self._counts_by_client[client_id] = (
+            self._counts_by_client.get(client_id, 0) + 1
+        )
+        self._latency_hist.record(record.latency)
         _kernels_total.inc()
         _queue_delay_hist.record(record.queue_delay * 1e3)
         _kernel_hist.record(record.latency * 1e3)
@@ -108,15 +129,20 @@ class GpuScheduler:
         return record
 
     def mean_latency(self, client_id: Optional[int] = None) -> float:
-        records = [
-            r for r in self.records if client_id is None or r.client_id == client_id
-        ]
-        if not records:
+        """Mean kernel latency, from running sums (no record rescans)."""
+        if client_id is None:
+            if not self.records:
+                return 0.0
+            return self._latency_sum / len(self.records)
+        count = self._counts_by_client.get(client_id, 0)
+        if count == 0:
             return 0.0
-        return sum(r.latency for r in records) / len(records)
+        return self._latency_sums_by_client[client_id] / count
 
     def p99_latency(self) -> float:
-        if not self.records:
-            return 0.0
-        latencies = sorted(r.latency for r in self.records)
-        return latencies[min(int(0.99 * len(latencies)), len(latencies) - 1)]
+        """Approximate p99 from the running histogram (~5% relative error).
+
+        The geometric-bucket histogram answers percentiles in O(buckets)
+        instead of sorting the full record list on every call.
+        """
+        return self._latency_hist.p99

@@ -159,7 +159,7 @@ def local_bundle_adjustment(
             point = slam_map.mappoints[pid]
             refined = _triangulate_point(point.position, obs, slam_map, camera)
             if refined is not None and np.isfinite(refined).all():
-                point.position = refined
+                slam_map.set_point_position(pid, refined)
         # Resection: refine each free keyframe pose.
         for kf_id in keyframe_ids:
             if kf_id in fixed:

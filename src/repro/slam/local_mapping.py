@@ -157,7 +157,9 @@ class LocalMapper:
                 n = max(point.n_observations, 1)
                 weight = 1.0 / (n + 1.0)
                 if np.linalg.norm(observed - point.position) < 1.0:
-                    point.position = (1.0 - weight) * point.position + weight * observed
+                    self.map.set_point_position(
+                        pid, (1.0 - weight) * point.position + weight * observed
+                    )
         keyframe.bow_vector = self.vocabulary.transform(keyframe.descriptors)
         self.map.add_keyframe(keyframe)
         self.database.add(keyframe.keyframe_id, keyframe.bow_vector)

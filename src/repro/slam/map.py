@@ -9,7 +9,7 @@ when maps are merged.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -45,14 +45,132 @@ class IdAllocator:
         return entity_id // CLIENT_ID_STRIDE
 
 
+class _PackedPointArrays:
+    """Dense ``(n, 3)`` / ``(n, 32)`` mirrors of a map's point table.
+
+    The matching kernels want matrix inputs; rebuilding them from the
+    Python object table on every search is the dominant per-frame cost
+    the paper's Fig. 5 attributes to *search local points*.  The mirror
+    is maintained incrementally: point insertions append (amortized via
+    capacity doubling), position refinements overwrite one row, and only
+    structural edits (removal, fusion, client detach) force a rebuild.
+    """
+
+    def __init__(self) -> None:
+        self.positions = np.zeros((0, 3), dtype=float)
+        self.descriptors = np.zeros((0, 0), dtype=np.uint8)
+        self.row_of: Dict[int, int] = {}
+        self.n = 0
+
+    def rebuild(self, mappoints: Dict[int, MapPoint]) -> None:
+        self.n = len(mappoints)
+        self.row_of = {pid: row for row, pid in enumerate(mappoints)}
+        if self.n == 0:
+            self.positions = np.zeros((0, 3), dtype=float)
+            self.descriptors = np.zeros((0, 0), dtype=np.uint8)
+            return
+        self.positions = np.array(
+            [p.position for p in mappoints.values()], dtype=float
+        )
+        self.descriptors = np.stack(
+            [p.descriptor for p in mappoints.values()]
+        ).astype(np.uint8)
+
+    def _grow(self, desc_width: int) -> None:
+        capacity = max(2 * max(len(self.positions), 1), self.n + 1)
+        new_pos = np.zeros((capacity, 3), dtype=float)
+        new_pos[: self.n] = self.positions[: self.n]
+        self.positions = new_pos
+        new_desc = np.zeros((capacity, desc_width), dtype=np.uint8)
+        new_desc[: self.n, : self.descriptors.shape[1]] = self.descriptors[: self.n]
+        self.descriptors = new_desc
+
+    def append(self, point: MapPoint) -> None:
+        width = len(point.descriptor)
+        if self.n >= len(self.positions) or self.descriptors.shape[1] != width:
+            self._grow(width)
+        self.positions[self.n] = point.position
+        self.descriptors[self.n] = point.descriptor
+        self.row_of[point.point_id] = self.n
+        self.n += 1
+
+    def update_position(self, point_id: int, position: np.ndarray) -> None:
+        row = self.row_of.get(point_id)
+        if row is not None:
+            self.positions[row] = position
+
+    def gather(self, point_ids: List[int]) -> "Tuple[np.ndarray, np.ndarray]":
+        rows = np.fromiter(
+            (self.row_of[pid] for pid in point_ids), dtype=np.intp,
+            count=len(point_ids),
+        )
+        return self.positions[rows], self.descriptors[rows]
+
+
 class SlamMap:
-    """Keyframes + map points + covisibility, with basic bookkeeping."""
+    """Keyframes + map points + covisibility, with basic bookkeeping.
+
+    Every mutation bumps ``version``; caches keyed on it (packed point
+    matrices here, the tracker's local-map cache) invalidate exactly
+    when the map actually changed rather than once per query.
+    """
 
     def __init__(self, map_id: int = 0) -> None:
         self.map_id = map_id
         self.keyframes: Dict[int, KeyFrame] = {}
         self.mappoints: Dict[int, MapPoint] = {}
         self.covisibility = nx.Graph()
+        self._version = 0
+        self._packed = _PackedPointArrays()
+        self._packed_dirty = True
+
+    # --------------------------------------------------------------- caching
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every map mutation."""
+        return self._version
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (positions edited in bulk)."""
+        self._version += 1
+        self._packed_dirty = True
+
+    def _packed_arrays(self) -> _PackedPointArrays:
+        if self._packed_dirty:
+            self._packed.rebuild(self.mappoints)
+            self._packed_dirty = False
+        return self._packed
+
+    def packed_positions(self) -> np.ndarray:
+        """The ``(n_mappoints, 3)`` position matrix (insertion order)."""
+        pk = self._packed_arrays()
+        return pk.positions[: pk.n]
+
+    def packed_descriptors(self) -> np.ndarray:
+        """The ``(n_mappoints, 32)`` descriptor matrix (insertion order)."""
+        pk = self._packed_arrays()
+        return pk.descriptors[: pk.n]
+
+    def gather_point_arrays(self, point_ids) -> "Tuple[np.ndarray, np.ndarray]":
+        """Packed ``(positions, descriptors)`` rows for the given ids."""
+        ids = [int(pid) for pid in point_ids]
+        return self._packed_arrays().gather(ids)
+
+    def set_point_position(self, point_id: int, position: np.ndarray) -> None:
+        """Move a point, keeping the packed mirror and caches coherent.
+
+        Refinement loops (local BA, pose-graph correction, running-
+        average updates) must use this instead of assigning
+        ``point.position`` directly: it is an O(1) in-place row update
+        rather than a full matrix rebuild.
+        """
+        point = self.mappoints.get(point_id)
+        if point is None:
+            return
+        point.position = np.asarray(position, dtype=float).reshape(3)
+        self._version += 1
+        if not self._packed_dirty:
+            self._packed.update_position(point_id, point.position)
 
     # ---------------------------------------------------------------- insert
     def add_keyframe(self, keyframe: KeyFrame) -> None:
@@ -61,11 +179,15 @@ class SlamMap:
         self.keyframes[keyframe.keyframe_id] = keyframe
         self.covisibility.add_node(keyframe.keyframe_id)
         self._update_covisibility(keyframe)
+        self._version += 1
 
     def add_mappoint(self, point: MapPoint) -> None:
         if point.point_id in self.mappoints:
             raise ValueError(f"duplicate map-point id {point.point_id}")
         self.mappoints[point.point_id] = point
+        self._version += 1
+        if not self._packed_dirty:
+            self._packed.append(point)
 
     def _update_covisibility(self, keyframe: KeyFrame) -> None:
         """Add covisibility edges weighted by shared map-point count."""
@@ -86,6 +208,7 @@ class SlamMap:
         self.covisibility.add_nodes_from(self.keyframes)
         for kf in self.keyframes.values():
             self._update_covisibility(kf)
+        self._version += 1
 
     # ---------------------------------------------------------------- remove
     def remove_keyframe(self, keyframe_id: int) -> None:
@@ -98,6 +221,7 @@ class SlamMap:
                 point.remove_observation(keyframe_id)
         if self.covisibility.has_node(keyframe_id):
             self.covisibility.remove_node(keyframe_id)
+        self._version += 1
 
     def remove_mappoint(self, point_id: int) -> None:
         point = self.mappoints.pop(point_id, None)
@@ -107,6 +231,7 @@ class SlamMap:
             kf = self.keyframes.get(kf_id)
             if kf is not None:
                 kf.point_ids[kf.point_ids == point_id] = -1
+        self.touch()
 
     def replace_mappoint(self, old_id: int, new_id: int) -> None:
         """Fuse ``old_id`` into ``new_id`` (duplicate landmarks after merge)."""
@@ -125,6 +250,7 @@ class SlamMap:
         new.times_visible += old.times_visible
         new.times_found += old.times_found
         del self.mappoints[old_id]
+        self.touch()
 
     # ---------------------------------------------------------------- access
     @property
@@ -223,6 +349,7 @@ class SlamMap:
         for kf in self.keyframes.values():
             if kf.client_id == client_id:
                 kf.pose_cw = transform.transform_pose(kf.pose_cw)
+        self.touch()
 
     def detach_client(self, client_id: int) -> None:
         """Remove a client's entities without mutating the shared objects.
@@ -244,6 +371,7 @@ class SlamMap:
         ]
         for pid in point_ids:
             del self.mappoints[pid]
+        self.touch()
 
     def nbytes(self) -> int:
         """Approximate total footprint (Table 1 map-size accounting)."""

@@ -155,6 +155,8 @@ def optimize_pose_graph(
         # x_w' = T_new^-1 * T_old * x_w keeps the point rigid w.r.t. its
         # anchor camera.
         point.position = corrections[anchor].apply(point.position)
+    # Bulk position edit: invalidate packed matrices and search caches.
+    slam_map.touch()
     return PoseGraphStats(
         iterations=iterations,
         initial_residual=initial,

@@ -23,6 +23,7 @@ import numpy as np
 from ..geometry import SE3
 from ..vision.camera import PinholeCamera
 from ..vision.matching import (
+    FrameGrid,
     Match,
     search_by_projection_scalar,
     search_by_projection_vectorized,
@@ -30,6 +31,22 @@ from ..vision.matching import (
 from .frame import Frame
 from .map import SlamMap
 from .pnp import solve_pnp
+
+
+@dataclass
+class _LocalMapPack:
+    """A cached local map: point objects plus their packed matrices.
+
+    Valid as long as the cache key ``(reference keyframe, map version)``
+    holds, so the narrow, wide-retry and refine searches of one frame —
+    and every following frame until the map changes — skip the
+    covisibility walk, the point gathering and the matrix packing.
+    """
+
+    key: tuple
+    points: List
+    positions: np.ndarray       # (n, 3) world positions
+    descriptors: np.ndarray     # (n, 32) packed descriptors
 
 
 @dataclass
@@ -82,6 +99,7 @@ class Tracker:
         self.last_pose: Optional[SE3] = None
         self.velocity: SE3 = SE3.identity()
         self.reference_keyframe_id: Optional[int] = None
+        self._local_pack: Optional[_LocalMapPack] = None
 
     # ------------------------------------------------------------- predict
     def predict_pose(self) -> Optional[SE3]:
@@ -98,30 +116,68 @@ class Tracker:
     # ---------------------------------------------------------- local map
     def _local_map(self) -> List:
         """Points observed by the reference keyframe and its neighbors."""
-        if self.reference_keyframe_id is None:
-            return []
-        kf_ids = [self.reference_keyframe_id]
-        kf_ids += self.map.covisible_keyframes(self.reference_keyframe_id)[
-            : self.config.covisible_neighbors
-        ]
-        return self.map.local_map_points(kf_ids, limit=self.config.local_map_size)
+        return self._local_map_pack().points
 
-    def _search(self, points, frame: Frame, pose: SE3, radius: float):
-        """Project local points and match against frame features."""
-        positions = np.array([p.position for p in points])
-        uv, _, valid = self.camera.project_world(positions, pose)
+    def _local_map_pack(self) -> _LocalMapPack:
+        """The local map with packed matrices, cached on (ref kf, version)."""
+        key = (self.reference_keyframe_id, self.map.version)
+        if self._local_pack is not None and self._local_pack.key == key:
+            return self._local_pack
+        if self.reference_keyframe_id is None:
+            points: List = []
+        else:
+            kf_ids = [self.reference_keyframe_id]
+            kf_ids += self.map.covisible_keyframes(self.reference_keyframe_id)[
+                : self.config.covisible_neighbors
+            ]
+            points = self.map.local_map_points(
+                kf_ids, limit=self.config.local_map_size
+            )
+        if points:
+            positions, descriptors = self.map.gather_point_arrays(
+                [p.point_id for p in points]
+            )
+        else:
+            positions = np.zeros((0, 3))
+            descriptors = np.zeros((0, 0), dtype=np.uint8)
+        self._local_pack = _LocalMapPack(key, points, positions, descriptors)
+        return self._local_pack
+
+    def _project(self, pack: _LocalMapPack, pose: SE3):
+        """Project the packed local map once per candidate pose."""
+        uv, _, valid = self.camera.project_world(pack.positions, pose)
         visible_idx = np.nonzero(valid)[0]
+        return uv[visible_idx], visible_idx
+
+    def _search(
+        self,
+        pack: _LocalMapPack,
+        frame: Frame,
+        projection,
+        radius: float,
+        grid: Optional[FrameGrid] = None,
+    ):
+        """Match projected local points against frame features.
+
+        ``projection`` is the ``(proj_uv, visible_idx)`` pair from
+        :meth:`_project` — computed once per pose and shared by the
+        narrow and wide-retry searches; ``grid`` is the frame's spatial
+        index, built once per frame and shared by all three searches.
+        """
+        proj_uv, visible_idx = projection
         if len(visible_idx) == 0:
             return [], 0
-        proj_uv = uv[visible_idx]
-        descriptors = np.stack([points[i].descriptor for i in visible_idx])
-        search = (
-            search_by_projection_vectorized
-            if self.backend == "vectorized"
-            else search_by_projection_scalar
-        )
-        matches = search(proj_uv, descriptors, frame.uv, frame.descriptors,
-                         radius=radius)
+        descriptors = pack.descriptors[visible_idx]
+        if self.backend == "vectorized":
+            matches = search_by_projection_vectorized(
+                proj_uv, descriptors, frame.uv, frame.descriptors,
+                radius=radius, grid=grid,
+            )
+        else:
+            matches = search_by_projection_scalar(
+                proj_uv, descriptors, frame.uv, frame.descriptors,
+                radius=radius,
+            )
         # Re-index matches back to the full candidate list.
         remapped = [Match(int(visible_idx[m.query_idx]), m.train_idx, m.distance)
                     for m in matches]
@@ -137,25 +193,37 @@ class Tracker:
         prior = pose_prior if pose_prior is not None else self.predict_pose()
         if prior is None:
             return TrackingResult(frame, False, 0, float("inf"), workload)
-        points = self._local_map()
+        pack = self._local_map_pack()
+        points = pack.points
         workload.n_local_points = len(points)
         if len(points) < 4:
             return TrackingResult(frame, False, 0, float("inf"), workload)
 
-        matches, pairs = self._search(points, frame, prior, cfg.search_radius_px)
+        grid = (
+            FrameGrid(frame.uv)
+            if self.backend == "vectorized" and len(frame) > 0
+            else None
+        )
+        prior_projection = self._project(pack, prior)
+        matches, pairs = self._search(
+            pack, frame, prior_projection, cfg.search_radius_px, grid
+        )
         workload.candidate_pairs += pairs
         if len(matches) < cfg.min_matches:
-            # Wide-window retry: the prior may be poor (high RTT, fast turn).
+            # Wide-window retry: the prior may be poor (high RTT, fast
+            # turn).  Same pose, so the projection is reused as-is.
             matches, pairs = self._search(
-                points, frame, prior, cfg.wide_search_radius_px
+                pack, frame, prior_projection, cfg.wide_search_radius_px, grid
             )
             workload.candidate_pairs += pairs
         if len(matches) < 4:
             return TrackingResult(frame, False, len(matches), float("inf"), workload)
 
-        pts_w = np.array([points[m.query_idx].position for m in matches])
-        uv = np.array([frame.uv[m.train_idx] for m in matches])
-        depths = np.array([frame.depths[m.train_idx] for m in matches])
+        q_idx = np.array([m.query_idx for m in matches], dtype=np.intp)
+        t_idx = np.array([m.train_idx for m in matches], dtype=np.intp)
+        pts_w = pack.positions[q_idx]
+        uv = frame.uv[t_idx]
+        depths = frame.depths[t_idx]
         result = solve_pnp(pts_w, uv, self.camera, prior, depths=depths)
         if result.n_inliers >= 4:
             # Second round: re-associate with the *refined* pose and
@@ -165,14 +233,17 @@ class Tracker:
             # that bias compounds through the motion model and blows up
             # within a few tens of frames.
             matches2, pairs2 = self._search(
-                points, frame, result.pose_cw, cfg.search_radius_px * 0.8
+                pack, frame, self._project(pack, result.pose_cw),
+                cfg.search_radius_px * 0.8, grid,
             )
             workload.candidate_pairs += pairs2
             if len(matches2) >= 4:
                 matches = matches2
-                pts_w = np.array([points[m.query_idx].position for m in matches])
-                uv = np.array([frame.uv[m.train_idx] for m in matches])
-                depths = np.array([frame.depths[m.train_idx] for m in matches])
+                q_idx = np.array([m.query_idx for m in matches], dtype=np.intp)
+                t_idx = np.array([m.train_idx for m in matches], dtype=np.intp)
+                pts_w = pack.positions[q_idx]
+                uv = frame.uv[t_idx]
+                depths = frame.depths[t_idx]
                 result = solve_pnp(
                     pts_w, uv, self.camera, result.pose_cw, depths=depths
                 )

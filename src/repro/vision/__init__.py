@@ -6,6 +6,8 @@ from .brief import (
     compute_descriptor,
     hamming_distance,
     hamming_distance_matrix,
+    hamming_distance_matrix_lut,
+    hamming_distance_pairs,
     perturb_descriptor,
     random_descriptor,
 )
@@ -13,8 +15,10 @@ from .camera import PinholeCamera, StereoRig
 from .fast import Keypoint, detect_fast_scalar, detect_fast_vectorized
 from .image import Image, ImagePyramid
 from .matching import (
+    FrameGrid,
     Match,
     match_descriptors,
+    search_by_projection_dense,
     search_by_projection_scalar,
     search_by_projection_vectorized,
 )
@@ -28,6 +32,7 @@ __all__ = [
     "DescriptorBank",
     "FeatureOracle",
     "FeatureSet",
+    "FrameGrid",
     "Image",
     "ImagePyramid",
     "Keypoint",
@@ -45,11 +50,14 @@ __all__ = [
     "detect_fast_vectorized",
     "hamming_distance",
     "hamming_distance_matrix",
+    "hamming_distance_matrix_lut",
+    "hamming_distance_pairs",
     "match_descriptors",
     "perturb_descriptor",
     "random_descriptor",
     "render_frame",
     "render_stereo_pair",
+    "search_by_projection_dense",
     "search_by_projection_scalar",
     "search_by_projection_vectorized",
 ]

@@ -126,7 +126,52 @@ def detect_fast_vectorized(
 
 
 def _collect_keypoints(scores: np.ndarray, nonmax: bool) -> List[Keypoint]:
-    """Apply 3x3 non-maximum suppression and build keypoint objects."""
+    """Apply 3x3 non-maximum suppression and build keypoint objects.
+
+    Single-pass formulation: one zero-padded copy of the score map, and
+    the eight neighbour comparisons reduce over *views* of it — no
+    per-shift array allocation.  Ties survive against neighbours that
+    precede the pixel in raster order and lose against the ones that
+    follow it, exactly matching :func:`_collect_keypoints_reference`
+    (tests assert bit-for-bit identical keypoints).
+    """
+    if nonmax:
+        h, w = scores.shape
+        padded = np.zeros((h + 2, w + 2), dtype=scores.dtype)
+        padded[1:-1, 1:-1] = scores
+
+        def nbr(dy: int, dx: int) -> np.ndarray:
+            return padded[1 + dy : 1 + dy + h, 1 + dx : 1 + dx + w]
+
+        # Max over raster-earlier neighbours (row above + left), then
+        # over raster-later ones (right + row below), accumulated
+        # in-place into a single scratch buffer.
+        keep = scores > 0
+        buf = np.empty_like(scores)
+        np.maximum(nbr(-1, -1), nbr(-1, 0), out=buf)
+        np.maximum(buf, nbr(-1, 1), out=buf)
+        np.maximum(buf, nbr(0, -1), out=buf)
+        keep &= scores >= buf
+        np.maximum(nbr(0, 1), nbr(1, -1), out=buf)
+        np.maximum(buf, nbr(1, 0), out=buf)
+        np.maximum(buf, nbr(1, 1), out=buf)
+        keep &= scores > buf
+        vs, us = np.nonzero(keep)
+    else:
+        vs, us = np.nonzero(scores > 0)
+    responses = scores[vs, us].astype(np.float64)
+    return [
+        Keypoint(u=u, v=v, response=r)
+        for v, u, r in zip(
+            vs.astype(np.float64).tolist(),
+            us.astype(np.float64).tolist(),
+            responses.tolist(),
+        )
+    ]
+
+
+def _collect_keypoints_reference(scores: np.ndarray, nonmax: bool) -> List[Keypoint]:
+    """Original shift-loop NMS, kept as the equivalence reference."""
     if nonmax:
         keep = scores > 0
         for dy in (-1, 0, 1):
@@ -140,9 +185,10 @@ def _collect_keypoints(scores: np.ndarray, nonmax: bool) -> List[Keypoint]:
                 xs_src = slice(max(-dx, 0), scores.shape[1] + min(-dx, 0))
                 shifted[ys, xs] = scores[ys_src, xs_src]
                 # Strictly-greater on one side breaks ties deterministically.
-                keep &= (scores > shifted) | (
-                    (scores == shifted) & _tie_break(scores.shape, dy, dx)
-                )
+                if _tie_break(dy, dx):
+                    keep &= scores >= shifted
+                else:
+                    keep &= scores > shifted
         vs, us = np.nonzero(keep)
     else:
         vs, us = np.nonzero(scores > 0)
@@ -152,8 +198,11 @@ def _collect_keypoints(scores: np.ndarray, nonmax: bool) -> List[Keypoint]:
     ]
 
 
-def _tie_break(shape: tuple, dy: int, dx: int) -> np.ndarray:
-    """Deterministic tie-break: keep the lexicographically-first pixel."""
-    if dy > 0 or (dy == 0 and dx > 0):
-        return np.ones(shape, dtype=bool)
-    return np.zeros(shape, dtype=bool)
+def _tie_break(dy: int, dx: int) -> bool:
+    """Whether a tie against the neighbour shifted by ``(dy, dx)`` is kept.
+
+    The shifted map holds the neighbour at ``(v - dy, u - dx)``; ties
+    are kept exactly when that neighbour precedes the pixel in raster
+    order, so one pixel of every tied plateau survives deterministically.
+    """
+    return dy > 0 or (dy == 0 and dx > 0)

@@ -1,0 +1,386 @@
+"""Equivalence and cache-invalidation tests for the vectorized hot path.
+
+Every fast kernel introduced by the wall-clock overhaul must produce
+bit-for-bit the same answer as its naive reference; the packed-matrix
+caches must invalidate whenever the map changes under them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import euroc_dataset
+from repro.net.simclock import SimClock
+from repro.gpu import GpuScheduler
+from repro.slam import SlamMap, Tracker
+from repro.slam.mappoint import MapPoint
+from repro.vision.brief import (
+    DESCRIPTOR_BYTES,
+    hamming_distance_matrix,
+    hamming_distance_matrix_lut,
+    hamming_distance_pairs,
+)
+from repro.vision.fast import (
+    _collect_keypoints,
+    _collect_keypoints_reference,
+    detect_fast_vectorized,
+)
+from repro.vision.matching import (
+    FrameGrid,
+    match_descriptors,
+    search_by_projection_dense,
+    search_by_projection_scalar,
+    search_by_projection_vectorized,
+)
+from tests.test_slam_system import run_system
+
+
+def _descriptors(rng, n, width=DESCRIPTOR_BYTES, low=0, high=256):
+    return rng.integers(low, high, (n, width), dtype=np.uint8)
+
+
+def _as_tuples(matches):
+    return [(m.query_idx, m.train_idx, m.distance) for m in matches]
+
+
+# --------------------------------------------------------------- hamming
+class TestHammingEquivalence:
+    @pytest.mark.parametrize("m,n", [(1, 1), (7, 13), (64, 64), (120, 250)])
+    def test_fast_matches_lut(self, m, n):
+        rng = np.random.default_rng(m * 1000 + n)
+        a, b = _descriptors(rng, m), _descriptors(rng, n)
+        np.testing.assert_array_equal(
+            hamming_distance_matrix(a, b), hamming_distance_matrix_lut(a, b)
+        )
+
+    def test_one_dimensional_input(self):
+        rng = np.random.default_rng(3)
+        a = _descriptors(rng, 1)[0]
+        b = _descriptors(rng, 9)
+        np.testing.assert_array_equal(
+            hamming_distance_matrix(a, b), hamming_distance_matrix_lut(a, b)
+        )
+
+    def test_non_contiguous_input(self):
+        rng = np.random.default_rng(4)
+        big = _descriptors(rng, 40, width=64)
+        a = big[::2, ::2]  # non-contiguous view, still 32 bytes wide
+        b = _descriptors(rng, 11)
+        np.testing.assert_array_equal(
+            hamming_distance_matrix(a, b), hamming_distance_matrix_lut(a, b)
+        )
+
+    def test_odd_width_falls_back(self):
+        rng = np.random.default_rng(5)
+        a = _descriptors(rng, 6, width=5)
+        b = _descriptors(rng, 8, width=5)
+        np.testing.assert_array_equal(
+            hamming_distance_matrix(a, b), hamming_distance_matrix_lut(a, b)
+        )
+
+    def test_extreme_values(self):
+        a = np.array([[0] * 32, [255] * 32], dtype=np.uint8)
+        np.testing.assert_array_equal(
+            hamming_distance_matrix(a, a), [[0, 256], [256, 0]]
+        )
+
+    def test_pairs_match_dense(self):
+        rng = np.random.default_rng(6)
+        a, b = _descriptors(rng, 20), _descriptors(rng, 30)
+        idx_a = rng.integers(0, 20, 50)
+        idx_b = rng.integers(0, 30, 50)
+        dense = hamming_distance_matrix_lut(a, b)
+        np.testing.assert_array_equal(
+            hamming_distance_pairs(a, b, idx_a, idx_b), dense[idx_a, idx_b]
+        )
+
+    def test_pairs_empty(self):
+        rng = np.random.default_rng(7)
+        a, b = _descriptors(rng, 4), _descriptors(rng, 4)
+        empty = np.zeros(0, dtype=np.intp)
+        assert hamming_distance_pairs(a, b, empty, empty).shape == (0,)
+
+
+# ---------------------------------------------------------------- search
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("radius", [3.0, 10.0, 30.0])
+    def test_scalar_dense_grid_agree(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        n_pts, n_feats = 60, 40
+        proj_uv = rng.uniform(0, 100, (n_pts, 2))
+        frame_uv = rng.uniform(0, 100, (n_feats, 2))
+        # Tiny descriptor alphabet forces heavy distance ties, the case
+        # where greedy-assignment order matters most.
+        point_desc = _descriptors(rng, n_pts, high=4)
+        frame_desc = _descriptors(rng, n_feats, high=4)
+        kwargs = dict(radius=radius, max_distance=300)
+        scalar = _as_tuples(search_by_projection_scalar(
+            proj_uv, point_desc, frame_uv, frame_desc, **kwargs))
+        dense = _as_tuples(search_by_projection_dense(
+            proj_uv, point_desc, frame_uv, frame_desc, **kwargs))
+        vec = _as_tuples(search_by_projection_vectorized(
+            proj_uv, point_desc, frame_uv, frame_desc, **kwargs))
+        grid = FrameGrid(frame_uv)
+        vec_grid = _as_tuples(search_by_projection_vectorized(
+            proj_uv, point_desc, frame_uv, frame_desc, grid=grid, **kwargs))
+        assert scalar == dense == vec == vec_grid
+
+    def test_empty_inputs(self):
+        rng = np.random.default_rng(0)
+        empty_uv = np.zeros((0, 2))
+        empty_desc = np.zeros((0, DESCRIPTOR_BYTES), dtype=np.uint8)
+        uv = rng.uniform(0, 50, (5, 2))
+        desc = _descriptors(rng, 5)
+        assert search_by_projection_vectorized(
+            empty_uv, empty_desc, uv, desc, radius=10.0) == []
+        assert search_by_projection_vectorized(
+            uv, desc, empty_uv, empty_desc, radius=10.0) == []
+
+    def test_max_distance_filter(self):
+        rng = np.random.default_rng(1)
+        proj_uv = rng.uniform(0, 50, (10, 2))
+        point_desc = _descriptors(rng, 10)
+        frame_desc = _descriptors(rng, 10)
+        loose = search_by_projection_vectorized(
+            proj_uv, point_desc, proj_uv, frame_desc,
+            radius=5.0, max_distance=256)
+        tight = search_by_projection_vectorized(
+            proj_uv, point_desc, proj_uv, frame_desc,
+            radius=5.0, max_distance=80)
+        assert all(m.distance <= 80 for m in tight)
+        assert len(tight) <= len(loose)
+
+    def test_grid_candidate_pairs_superset_of_radius(self):
+        rng = np.random.default_rng(2)
+        frame_uv = rng.uniform(0, 200, (80, 2))
+        centers = rng.uniform(0, 200, (30, 2))
+        radius = 12.0
+        grid = FrameGrid(frame_uv)
+        q_idx, t_idx = grid.candidate_pairs(centers, radius)
+        candidate = set(zip(q_idx.tolist(), t_idx.tolist()))
+        d2 = ((centers[:, None, :] - frame_uv[None, :, :]) ** 2).sum(axis=2)
+        qs, ts = np.nonzero(d2 <= radius * radius)
+        for pair in zip(qs.tolist(), ts.tolist()):
+            assert pair in candidate
+
+
+# ------------------------------------------------------------------- nms
+class TestNmsEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_plateau_heavy_maps(self, seed):
+        # Few distinct score values -> many tied plateaus.
+        rng = np.random.default_rng(seed)
+        scores = rng.integers(0, 5, (37, 43)).astype(np.float32)
+        for nonmax in (True, False):
+            new = _collect_keypoints(scores, nonmax)
+            ref = _collect_keypoints_reference(scores, nonmax)
+            assert [(k.u, k.v, k.response) for k in new] == [
+                (k.u, k.v, k.response) for k in ref]
+
+    def test_uniform_plateau_keeps_exactly_last(self):
+        scores = np.full((5, 5), 2.0, dtype=np.float32)
+        kps = _collect_keypoints(scores, True)
+        ref = _collect_keypoints_reference(scores, True)
+        assert [(k.u, k.v) for k in kps] == [(k.u, k.v) for k in ref]
+
+    def test_full_detector_unchanged(self):
+        rng = np.random.default_rng(11)
+        img = rng.integers(0, 256, (40, 56), dtype=np.uint8)
+        kps = detect_fast_vectorized(img)
+        # the detector routes through the new NMS; reference agrees
+        scores = np.zeros((40, 56), dtype=np.float32)
+        for k in kps:
+            scores[int(k.v), int(k.u)] = k.response
+        assert all(isinstance(k.u, float) for k in kps)
+        assert len(kps) == len(_collect_keypoints(scores, True))
+
+
+# ------------------------------------------------------------- matching
+class TestMatchDescriptorsEquivalence:
+    @staticmethod
+    def _reference(query, train, max_distance=64, ratio=0.8, cross_check=True):
+        if len(query) == 0 or len(train) == 0:
+            return []
+        distances = hamming_distance_matrix_lut(query, train)
+        best = distances.argmin(axis=1)
+        reverse = distances.argmin(axis=0)
+        out = []
+        for qi in range(len(query)):
+            ti = int(best[qi])
+            dist = int(distances[qi, ti])
+            if dist > max_distance:
+                continue
+            if len(train) > 1:
+                row = distances[qi].astype(np.int64).copy()
+                row[ti] = np.iinfo(np.int64).max
+                second = int(row.min())
+                if second > 0 and dist > ratio * second:
+                    continue
+            if cross_check and int(reverse[ti]) != qi:
+                continue
+            out.append((qi, ti, dist))
+        return out
+
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("cross_check", [True, False])
+    def test_vectorized_matches_reference(self, seed, cross_check):
+        rng = np.random.default_rng(seed)
+        query = _descriptors(rng, 25, high=8)  # tie-heavy
+        train = _descriptors(rng, 30, high=8)
+        got = _as_tuples(match_descriptors(
+            query, train, max_distance=200, cross_check=cross_check))
+        want = self._reference(
+            query, train, max_distance=200, cross_check=cross_check)
+        assert got == want
+
+    def test_single_train_descriptor(self):
+        rng = np.random.default_rng(20)
+        query = _descriptors(rng, 5)
+        train = query[:1].copy()
+        got = _as_tuples(match_descriptors(query, train, max_distance=256))
+        assert self._reference(query, train, max_distance=256) == got
+
+
+# -------------------------------------------------- packed-matrix caches
+def _point(pid, rng):
+    return MapPoint(
+        pid, rng.uniform(-1, 1, 3),
+        rng.integers(0, 256, DESCRIPTOR_BYTES, dtype=np.uint8),
+    )
+
+
+class TestPackedMapArrays:
+    def test_add_mappoint_bumps_version_and_extends(self):
+        rng = np.random.default_rng(0)
+        m = SlamMap()
+        v0 = m.version
+        for pid in range(5):
+            m.add_mappoint(_point(pid, rng))
+        assert m.version > v0
+        assert m.packed_positions().shape == (5, 3)
+        assert m.packed_descriptors().shape == (5, DESCRIPTOR_BYTES)
+        for pid in range(5):
+            pos, desc = m.gather_point_arrays([pid])
+            np.testing.assert_allclose(pos[0], m.mappoints[pid].position)
+            np.testing.assert_array_equal(desc[0], m.mappoints[pid].descriptor)
+
+    def test_remove_mappoint_invalidates(self):
+        rng = np.random.default_rng(1)
+        m = SlamMap()
+        for pid in range(4):
+            m.add_mappoint(_point(pid, rng))
+        m.packed_positions()  # force a build
+        v = m.version
+        m.remove_mappoint(2)
+        assert m.version > v
+        assert m.packed_positions().shape == (3, 3)
+        pos, _ = m.gather_point_arrays([3])
+        np.testing.assert_allclose(pos[0], m.mappoints[3].position)
+
+    def test_set_point_position_updates_in_place(self):
+        rng = np.random.default_rng(2)
+        m = SlamMap()
+        for pid in range(3):
+            m.add_mappoint(_point(pid, rng))
+        m.packed_positions()
+        v = m.version
+        target = np.array([9.0, 8.0, 7.0])
+        m.set_point_position(1, target)
+        assert m.version > v
+        np.testing.assert_allclose(m.mappoints[1].position, target)
+        pos, _ = m.gather_point_arrays([1])
+        np.testing.assert_allclose(pos[0], target)
+
+    def test_touch_forces_rebuild(self):
+        rng = np.random.default_rng(3)
+        m = SlamMap()
+        m.add_mappoint(_point(0, rng))
+        m.packed_positions()
+        # Out-of-band mutation (the pattern touch() exists for).
+        m.mappoints[0].position = np.array([4.0, 4.0, 4.0])
+        m.touch()
+        np.testing.assert_allclose(m.packed_positions()[0], [4.0, 4.0, 4.0])
+
+
+class TestTrackerLocalMapCache:
+    @pytest.fixture(scope="class")
+    def mapped(self):
+        ds = euroc_dataset("MH04", duration=6.0, rate=10.0)
+        system, _ = run_system(ds)
+        return ds, system
+
+    def test_cache_hit_on_same_key(self, mapped):
+        _, system = mapped
+        tracker = system.tracker
+        pack1 = tracker._local_map_pack()
+        pack2 = tracker._local_map_pack()
+        assert pack1 is pack2
+        assert pack1.positions.shape == (len(pack1.points), 3)
+
+    def test_map_mutation_rebuilds_pack(self, mapped):
+        _, system = mapped
+        tracker = system.tracker
+        pack1 = tracker._local_map_pack()
+        pid = pack1.points[0].point_id
+        moved = pack1.points[0].position + np.array([0.5, 0.0, 0.0])
+        system.map.set_point_position(pid, moved)
+        pack2 = tracker._local_map_pack()
+        assert pack2 is not pack1
+        row = [p.point_id for p in pack2.points].index(pid)
+        np.testing.assert_allclose(pack2.positions[row], moved)
+
+    def test_mid_track_map_growth_rebuilds(self, mapped):
+        _, system = mapped
+        tracker = system.tracker
+        pack1 = tracker._local_map_pack()
+        rng = np.random.default_rng(9)
+        new_id = max(system.map.mappoints) + 1
+        system.map.add_mappoint(_point(new_id, rng))
+        assert tracker._local_map_pack() is not pack1
+
+    def test_reference_keyframe_change_rebuilds(self, mapped):
+        _, system = mapped
+        tracker = system.tracker
+        pack1 = tracker._local_map_pack()
+        old_ref = tracker.reference_keyframe_id
+        other = [k for k in system.map.keyframes if k != old_ref]
+        if not other:
+            pytest.skip("map has a single keyframe")
+        tracker.reference_keyframe_id = other[0]
+        try:
+            assert tracker._local_map_pack() is not pack1
+        finally:
+            tracker.reference_keyframe_id = old_ref
+            tracker._local_pack = None
+
+
+# -------------------------------------------------- scheduler statistics
+class TestSchedulerRunningStats:
+    def test_mean_latency_exact(self):
+        clock = SimClock()
+        sched = GpuScheduler(clock, mode="temporal", n_clients=2)
+        durations = [0.004, 0.002, 0.006, 0.001]
+        for i, d in enumerate(durations):
+            sched.submit(i % 2, d)
+        expected = np.mean([r.latency for r in sched.records])
+        assert sched.mean_latency() == pytest.approx(expected)
+        for cid in (0, 1):
+            per = [r.latency for r in sched.records if r.client_id == cid]
+            assert sched.mean_latency(cid) == pytest.approx(np.mean(per))
+
+    def test_mean_latency_empty(self):
+        sched = GpuScheduler(SimClock(), n_clients=1)
+        assert sched.mean_latency() == 0.0
+        assert sched.mean_latency(7) == 0.0
+
+    def test_p99_within_histogram_tolerance(self):
+        rng = np.random.default_rng(0)
+        clock = SimClock()
+        sched = GpuScheduler(clock, mode="spatial", n_clients=1)
+        durations = rng.uniform(0.001, 0.050, 500)
+        for d in durations:
+            sched.submit(0, float(d))
+        exact = float(np.percentile([r.latency for r in sched.records], 99))
+        approx = sched.p99_latency()
+        # Geometric buckets guarantee ~5% relative error; allow slack.
+        assert approx == pytest.approx(exact, rel=0.15)
