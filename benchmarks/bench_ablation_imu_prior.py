@@ -13,7 +13,6 @@ reports lost frames and ATE.
 """
 
 import numpy as np
-import pytest
 
 from repro.datasets import euroc_dataset
 from repro.imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu

@@ -7,8 +7,6 @@ every keyframe in the joining map (Alg. 2 line 6-7), merging immediately
 upon joining.  We measure the success rate and the work done.
 """
 
-import numpy as np
-import pytest
 
 from repro.slam import MapMerger, MergerConfig
 from tests.test_slam_merging import build_two_clients

@@ -8,7 +8,6 @@ the baseline's path (TLV-serialize, ship, rebuild the object graph).
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.net import deserialize_map, serialize_map

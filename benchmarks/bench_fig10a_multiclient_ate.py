@@ -8,9 +8,7 @@ events from the shared three-client session.
 """
 
 import numpy as np
-import pytest
 
-from repro.metrics import absolute_trajectory_error
 
 
 def test_fig10a_live_global_ate(euroc_session_result, benchmark):

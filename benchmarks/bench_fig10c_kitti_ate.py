@@ -8,7 +8,6 @@ magnitudes scaled to our shorter, slower traces.
 """
 
 import numpy as np
-import pytest
 
 from repro.datasets import kitti_dataset
 from repro.metrics import absolute_trajectory_error

@@ -8,7 +8,6 @@ away from where B put it.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.holograms import Hologram, perceived_position, placement_error
 from repro.datasets import euroc_dataset

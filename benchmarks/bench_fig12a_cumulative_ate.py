@@ -7,9 +7,8 @@ the IMU rides out the delay, so shaping barely matters.
 """
 
 import numpy as np
-import pytest
 
-from repro.core import ClientScenario, SlamShareSession
+from repro.core import SlamShareSession
 from repro.datasets import euroc_dataset
 from repro.metrics import absolute_trajectory_error, cumulative_ate_series
 from repro.net import PROFILE_BW_9_4, PROFILE_BW_18_7, PROFILE_DELAY_300MS, PROFILE_IDEAL

@@ -7,8 +7,6 @@ We reproduce it from the operation accounting of the two client types
 in their respective sessions.
 """
 
-import numpy as np
-import pytest
 
 from repro.metrics.cpu import SERVER_CORES
 

@@ -9,7 +9,7 @@ calibrated CPU cost model and print the per-stage breakdown.
 import numpy as np
 import pytest
 
-from repro.datasets import euroc_dataset, kitti_dataset, make_dataset
+from repro.datasets import make_dataset
 from repro.gpu import TrackingLatencyModel
 from tests.test_slam_system import run_system
 
@@ -22,7 +22,7 @@ def _mean_workloads(name, duration=6.0):
     # Re-run a handful of frames to collect workloads.
     oracle = ds.make_oracle(stereo=True, seed=31)
     workloads = []
-    from repro.imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
+    from repro.imu import ImuBuffer, preintegrate, synthesize_imu
 
     imu = ImuBuffer(synthesize_imu(ds.ground_truth, rate_hz=200.0, seed=33))
     prev = None

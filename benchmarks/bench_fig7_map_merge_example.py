@@ -9,9 +9,7 @@ continued exploration.
 """
 
 import numpy as np
-import pytest
 
-from repro.datasets import euroc_dataset
 from repro.metrics import absolute_trajectory_error
 from repro.slam import MapMerger
 from tests.test_slam_merging import build_two_clients

@@ -1,0 +1,98 @@
+"""Reliability sweep: the transport loss knobs, actually exercised.
+
+Two views of the reliability layer under increasingly hostile links:
+
+* per-transfer: Table-4-style timed transfers over a lossy shaped link —
+  completion now costs retransmissions (ARQ) instead of crashing, and
+  the RTT inflation quantifies that cost;
+* per-session: a two-client session where uplink drops are bridged by
+  accumulated IMU deltas and a mid-session disconnect/rejoin is parked
+  and resumed by the server.  Accuracy must degrade gently, never
+  silently lose accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ClientScenario, SlamShareConfig, SlamShareSession
+from repro.datasets import euroc_dataset
+from repro.net import Link, ShapingProfile, SimClock, timed_transfer
+
+LOSS_RATES = (0.0, 0.10, 0.20, 0.35)
+
+
+def _transfer_rtts(loss_rate, n_transfers=30, n_bytes=200_000, seed=3):
+    clock = SimClock()
+    up = Link(clock, bandwidth_bps=18.7e6, delay_s=0.02,
+              loss_rate=loss_rate, seed=seed)
+    down = Link(clock, bandwidth_bps=18.7e6, delay_s=0.02,
+                loss_rate=loss_rate, seed=seed + 1)
+    rtts = [timed_transfer(clock, up, down, n_bytes)
+            for _ in range(n_transfers)]
+    return np.array(rtts), up.stats.messages_dropped
+
+
+def test_bench_timed_transfer_loss_sweep(benchmark):
+    results = benchmark.pedantic(
+        lambda: {p: _transfer_rtts(p) for p in LOSS_RATES},
+        rounds=1, iterations=1,
+    )
+    print("\nReliable transfer RTT vs loss (200 kB over 18.7 Mbit/s)")
+    print(f"{'loss':>6} {'p50 (ms)':>10} {'max (ms)':>10} {'drops':>7}")
+    base_p50 = None
+    for loss, (rtts, drops) in results.items():
+        p50 = float(np.median(rtts)) * 1e3
+        if base_p50 is None:
+            base_p50 = p50
+        print(f"{loss:>6.2f} {p50:>10.1f} {float(rtts.max()) * 1e3:>10.1f} "
+              f"{drops:>7}")
+    # Every transfer completed (no exception), lossless is the floor.
+    lossless = results[0.0][0]
+    assert float(np.median(lossless)) <= float(np.median(results[0.35][0]))
+    assert results[0.35][1] > 0
+
+
+def _lossy_session(loss_rate, churn=False):
+    scenarios = [
+        ClientScenario(
+            0, euroc_dataset("MH04", duration=12.0, rate=10.0),
+            offline_windows=((5.0, 7.0),) if churn else (),
+        ),
+        ClientScenario(
+            1, euroc_dataset("MH05", duration=9.0, rate=10.0),
+            start_time=3.0, oracle_seed=9, imu_seed=13,
+        ),
+    ]
+    config = SlamShareConfig(
+        camera_fps=10.0, render_video_frames=False,
+        shaping=ShapingProfile(f"loss {loss_rate:.0%}", loss_rate=loss_rate),
+    )
+    return SlamShareSession(scenarios, config).run()
+
+
+@pytest.mark.parametrize("churn", [False, True], ids=["steady", "churn"])
+def test_bench_session_loss_sweep(churn, benchmark):
+    results = benchmark.pedantic(
+        lambda: {p: _lossy_session(p, churn=churn) for p in LOSS_RATES},
+        rounds=1, iterations=1,
+    )
+    label = "with disconnect/rejoin" if churn else "steady clients"
+    print(f"\nSession reliability vs uplink loss ({label})")
+    print(f"{'loss':>6} {'drops':>7} {'recovered':>10} {'offline':>8} "
+          f"{'ATE0 (cm)':>10} {'ATE1 (cm)':>10}")
+    for loss, result in results.items():
+        o = result.outcomes[0]
+        print(f"{loss:>6.2f} {o.uplink_drops:>7} {o.frames_recovered:>10} "
+              f"{o.frames_offline:>8} "
+              f"{result.client_ate(0).rmse * 100:>10.2f} "
+              f"{result.client_ate(1).rmse * 100:>10.2f}")
+    for loss, result in results.items():
+        for cid in result.outcomes:
+            assert result.client_ate(cid).rmse < 0.15
+        if loss > 0:
+            # The loss knob is exercised and accounted, not absorbed.
+            assert result.outcomes[0].uplink_drops > 0
+            assert result.outcomes[0].frames_recovered > 0
+    if churn:
+        heavy = results[0.35].outcomes[0]
+        assert heavy.disconnects == 1 and heavy.rejoins == 1

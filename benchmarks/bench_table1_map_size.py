@@ -6,7 +6,6 @@ We regenerate the table from our MH04-like run and check the shape:
 monotone growth, roughly constant MB-per-keyframe slope.
 """
 
-import numpy as np
 import pytest
 
 from repro.datasets import euroc_dataset

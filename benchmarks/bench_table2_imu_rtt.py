@@ -14,7 +14,6 @@ from repro.datasets import euroc_dataset, kitti_dataset
 from repro.geometry import Trajectory, quaternion
 from repro.imu import (
     ClientMotionModel,
-    GRAVITY_W,
     ImuBuffer,
     ImuState,
     preintegrate,

@@ -13,7 +13,6 @@ the calibrated compute components) against SLAM-Share's merge events.
 """
 
 import numpy as np
-import pytest
 
 from repro.metrics import LatencyBreakdown, average_breakdowns, format_table4
 

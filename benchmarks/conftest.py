@@ -9,7 +9,6 @@ EXPERIMENTS.md records the scaling.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -10,10 +10,9 @@ models and prints where each resource becomes the bottleneck.
 Run:  python examples/edge_scaling.py
 """
 
-import numpy as np
 
 from repro.gpu import GpuScheduler, TrackingLatencyModel
-from repro.net import MBIT, SimClock
+from repro.net import SimClock
 from repro.slam.tracking import TrackingWorkload
 
 FRAME_BUDGET_MS = 33.3

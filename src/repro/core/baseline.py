@@ -17,9 +17,8 @@ short-term-ATE comparisons (Fig. 12b/c) punish.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-import numpy as np
 
 from ..datasets.registry import SyntheticDataset
 from ..geometry import SE3, Sim3, Trajectory, TrajectoryPoint, quaternion
@@ -37,7 +36,6 @@ from ..slam import (
     Vocabulary,
     default_vocabulary,
 )
-from ..slam.keyframe import KeyFrame
 from .config import BaselineConfig, SlamShareConfig
 
 

@@ -15,7 +15,7 @@ can contrast it with the full-SLAM baseline client.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..gpu.device import CpuCostModel, GpuCostModel
 from ..net.tc import PROFILE_IDEAL, ShapingProfile
+from ..net.transport import ArqConfig
 from ..slam.merging import MergerConfig
 from ..slam.system import SlamConfig
 
@@ -56,6 +56,10 @@ class SlamShareConfig:
     video_gop: int = 30
     video_quantization: int = 8
     shaping: ShapingProfile = PROFILE_IDEAL
+    # ARQ parameters for the session's endpoints.  Frame uploads and pose
+    # downlinks stay best-effort (a stale frame is worthless; IMU bridges
+    # the gap), but control traffic and timed transfers retransmit.
+    reliability: ArqConfig = field(default_factory=ArqConfig)
     slam: SlamConfig = field(default_factory=SlamConfig)
     merger: MergerConfig = field(default_factory=MergerConfig)
     cpu_model: CpuCostModel = field(default_factory=CpuCostModel)

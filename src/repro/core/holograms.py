@@ -11,12 +11,12 @@ positions — the paper measures a 6.94 m error for client C.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
-from ..geometry import SE3, Sim3
+from ..geometry import Sim3
 
 
 @dataclass

@@ -13,7 +13,7 @@ All heavy computation happens here; clients receive only poses (tiny
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -55,6 +55,12 @@ _wall_hist = _metrics.histogram(
 _merge_hist = _metrics.histogram(
     "server.merge_ms", "simulated merge latency (Table 4 map_merging)", unit="ms"
 )
+_parks_total = _metrics.counter(
+    "server.clients_parked", "client processes parked on disconnect"
+)
+_rejoins_total = _metrics.counter(
+    "server.clients_rejoined", "parked client processes resumed on rejoin"
+)
 
 
 @dataclass
@@ -80,6 +86,7 @@ class _ClientProcess:
         self.system = system
         self.merged = client_id == 0  # the first client *is* the global map
         self.merge_transform: Optional[Sim3] = Sim3.identity() if self.merged else None
+        self.parked = False           # client is disconnected; state retained
 
 
 class SlamShareServer:
@@ -133,6 +140,37 @@ class SlamShareServer:
         process.merge_transform = Sim3.identity() if first else None
         self.processes[client_id] = process
 
+    def park_client(self, client_id: int) -> None:
+        """Suspend a disconnected client's process, retaining its state.
+
+        The per-client SLAM process (its map view, trajectory, merge
+        status) stays resident so a rejoin resumes where it left off —
+        frames arriving while parked are rejected.
+        """
+        process = self.processes[client_id]
+        if process.parked:
+            return
+        process.parked = True
+        _parks_total.inc()
+        _log.info("client parked: %s", kv(client=client_id))
+
+    def unpark_client(self, client_id: int) -> None:
+        """Resume a rejoining client's parked process.
+
+        The next uploaded frame carries the IMU delta accumulated over
+        the offline window; tracking reacquires from that prior or falls
+        back to BoW relocalization against the (possibly global) map.
+        """
+        process = self.processes[client_id]
+        if not process.parked:
+            return
+        process.parked = False
+        _rejoins_total.inc()
+        _log.info("client rejoined: %s", kv(client=client_id))
+
+    def is_parked(self, client_id: int) -> bool:
+        return self.processes[client_id].parked
+
     @property
     def n_clients(self) -> int:
         return len(self.processes)
@@ -153,6 +191,11 @@ class SlamShareServer:
     ) -> ServerFrameResult:
         """Track one uploaded frame for a client (steps 3-7 of Fig. 3)."""
         process = self.processes[client_id]
+        if process.parked:
+            raise RuntimeError(
+                f"client {client_id} is parked (disconnected); "
+                "frames must not reach its process"
+            )
         wall_start = time.perf_counter()
         with _tracer.span("server.frame", client_id=client_id, t=timestamp):
             with _tracer.span("tracking", client_id=client_id) as tracking_span:
@@ -176,8 +219,11 @@ class SlamShareServer:
             _tracking_hist.record(latency.total)
             if _tracer.enabled:
                 # Lay the per-stage GPU breakdown out sequentially on the
-                # sim timeline (the Fig. 5/8 stage vocabulary).
-                base = _tracer.sim_now() or timestamp
+                # sim timeline (the Fig. 5/8 stage vocabulary).  Sim time
+                # 0.0 is a valid anchor — only fall back to the dataset
+                # timestamp when no clock is bound at all.
+                sim_now = _tracer.sim_now()
+                base = timestamp if sim_now is None else sim_now
                 offset_ms = 0.0
                 tid = f"client-{client_id}"
                 _tracer.sim_event(

@@ -18,13 +18,13 @@ display/server trajectories, merge events, stream stats, CPU samples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..datasets.registry import SyntheticDataset
 from ..geometry import SE3, Sim3, Trajectory
-from ..imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
+from ..imu import GRAVITY_W, ImuBuffer, ImuDelta, preintegrate, synthesize_imu
 from ..metrics.ate import absolute_trajectory_error, associate
 from ..net import SimClock, connect
 from ..obs import get_logger, get_metrics, get_tracer, kv
@@ -44,11 +44,27 @@ _pose_rtt_hist = _metrics.histogram(
 _frames_uploaded = _metrics.counter(
     "session.frames_uploaded", "camera frames uploaded by clients"
 )
+_frames_recovered = _metrics.counter(
+    "session.frames_recovered",
+    "deliveries whose IMU delta bridged intervals lost upstream",
+)
+_uplink_drops_total = _metrics.counter(
+    "session.uplink_drops", "frame uploads lost on client uplinks"
+)
+_gap_hist = _metrics.histogram(
+    "net.gap_ms", "IMU-bridged uplink gap recovered at delivery", unit="ms"
+)
 
 
 @dataclass
 class ClientScenario:
-    """One participant: which dataset it follows and when it joins."""
+    """One participant: which dataset it follows and when it joins.
+
+    ``offline_windows`` lists ``(disconnect_at, rejoin_at)`` session
+    times during which the client's radio is off: uploads stop, pending
+    transfers are cancelled and the server parks its process; on rejoin
+    the first upload bridges the window with accumulated IMU.
+    """
 
     client_id: int
     dataset: SyntheticDataset
@@ -57,6 +73,28 @@ class ClientScenario:
     frame_stride: int = 1
     oracle_seed: int = 7
     imu_seed: int = 11
+    offline_windows: Sequence[Tuple[float, float]] = ()
+
+
+@dataclass
+class _FramePacket:
+    """Payload of one uplink ``frame`` message."""
+
+    frame_no: int
+    dataset_ts: float
+    observations: list
+    imu_delta: Optional[ImuDelta]
+    captured_at: float
+    bridged_s: float = 0.0        # lost-interval span this delta recovers
+
+
+@dataclass
+class _PosePacket:
+    """Payload of one downlink ``pose`` message."""
+
+    frame_no: int
+    pose_cw: SE3
+    captured_at: float
 
 
 @dataclass
@@ -74,6 +112,12 @@ class ClientOutcome:
     client: SlamShareClient
     frames_processed: int = 0
     frames_lost: int = 0
+    uplink_drops: int = 0         # frame uploads lost on the wire
+    pose_drops: int = 0           # server poses lost on the downlink
+    frames_recovered: int = 0     # deliveries that bridged a lost interval
+    frames_offline: int = 0       # frames captured while disconnected
+    disconnects: int = 0
+    rejoins: int = 0
     pose_rtts_ms: List[float] = field(default_factory=list)
     tracking_latencies_ms: List[float] = field(default_factory=list)
 
@@ -182,9 +226,10 @@ class SlamShareSession:
         self.live_global_ate: List[Tuple[float, float]] = []
         self._links = {}
         self._endpoints = {}
+        self._per_client: Dict[int, Dict[str, Any]] = {}
 
     # -------------------------------------------------------------- setup
-    def _setup_client(self, scenario: ClientScenario):
+    def _setup_client(self, scenario: ClientScenario) -> Dict[str, Any]:
         dataset = scenario.dataset
         t0_pose = dataset.pose_cw(0)
         # The server map frame *is* the client's first camera frame
@@ -197,7 +242,8 @@ class SlamShareSession:
         self.server.add_client(scenario.client_id, gravity_map)
         link = self.config.shaping.build(self.clock, seed=50 + scenario.client_id)
         device_ep, server_ep = connect(
-            f"device-{scenario.client_id}", "edge-server", self.clock, link
+            f"device-{scenario.client_id}", "edge-server", self.clock, link,
+            arq=self.config.reliability,
         )
         self._links[scenario.client_id] = link
         self._endpoints[scenario.client_id] = (device_ep, server_ep)
@@ -212,7 +258,22 @@ class SlamShareSession:
             )
         )
         self.outcomes[scenario.client_id] = ClientOutcome(scenario, client)
-        return client, oracle, imu
+        state: Dict[str, Any] = {
+            "client": client,
+            "oracle": oracle,
+            "imu": imu,
+            "scenario": scenario,
+            "prev_ts": None,          # last frame the *client* captured
+            "imu_anchor_ts": None,    # last frame the *server* received
+            "frame_no": 0,
+            "connected": True,
+        }
+        self._per_client[scenario.client_id] = state
+        # Session traffic flows through the endpoint layer so transport
+        # metrics (net.messages_sent / bytes / latency) see it.
+        server_ep.on("frame", self._make_server_frame_handler(state))
+        device_ep.on("pose", self._make_client_pose_handler(state))
+        return state
 
     # ---------------------------------------------------------------- run
     def run(self) -> SessionResult:
@@ -226,23 +287,14 @@ class SlamShareSession:
                shaping=config.shaping.name,
                fps=config.camera_fps),
         )
-        per_client = {}
         events = []  # (session_time, client_id, frame_index, dataset_ts)
         for scenario in self.scenarios:
-            client, oracle, imu = self._setup_client(scenario)
+            self._setup_client(scenario)
             dataset = scenario.dataset
             indices = range(0, dataset.n_frames, scenario.frame_stride)
             if scenario.n_frames is not None:
                 indices = list(indices)[: scenario.n_frames]
             timestamps = [dataset.ground_truth[i].timestamp for i in indices]
-            per_client[scenario.client_id] = {
-                "client": client,
-                "oracle": oracle,
-                "imu": imu,
-                "scenario": scenario,
-                "prev_ts": None,
-                "frame_no": 0,
-            }
             for idx, ts in zip(indices, timestamps):
                 events.append(
                     (scenario.start_time + (ts - timestamps[0]), scenario.client_id,
@@ -252,11 +304,21 @@ class SlamShareSession:
         end_time = events[-1][0] if events else 0.0
 
         for session_time, client_id, frame_idx, dataset_ts in events:
-            state = per_client[client_id]
+            state = self._per_client[client_id]
             self.clock.schedule_at(
                 session_time,
                 self._make_frame_handler(state, frame_idx, dataset_ts),
             )
+        for scenario in self.scenarios:
+            for disconnect_at, rejoin_at in scenario.offline_windows:
+                cid = scenario.client_id
+                self.clock.schedule_at(
+                    disconnect_at,
+                    lambda cid=cid: self.disconnect_client(cid),
+                )
+                self.clock.schedule_at(
+                    rejoin_at, lambda cid=cid: self.rejoin_client(cid)
+                )
         if self.ate_sample_interval is not None:
             t = self.ate_sample_interval
             while t < end_time:
@@ -264,7 +326,7 @@ class SlamShareSession:
                 t += self.ate_sample_interval
         self.clock.run()
         # Close CPU accounting windows.
-        for client_id, state in per_client.items():
+        for client_id, state in self._per_client.items():
             state["client"].cpu.close_window(max(end_time, 1e-6))
         _log.info(
             "session done: %s",
@@ -326,10 +388,11 @@ class SlamShareSession:
         client: SlamShareClient = state["client"]
         dataset = scenario.dataset
         outcome = self.outcomes[scenario.client_id]
-        # 1) client: IMU advance + video encode.
-        delta = None
+        # 1) client: IMU advance + video encode.  The client's own motion
+        # model always integrates the local inter-frame interval.
+        client_delta = None
         if state["prev_ts"] is not None:
-            delta = preintegrate(state["imu"], state["prev_ts"], dataset_ts)
+            client_delta = preintegrate(state["imu"], state["prev_ts"], dataset_ts)
         pixels = None
         if self.config.render_video_frames:
             pixels = render_frame(
@@ -339,22 +402,84 @@ class SlamShareSession:
                 dataset.pose_cw(frame_idx),
                 rng=np.random.default_rng(1000 + frame_idx),
             ).pixels
-        upload = client.capture_frame(dataset_ts, delta, pixels=pixels)
+        upload = client.capture_frame(dataset_ts, client_delta, pixels=pixels)
+        prev_ts = state["prev_ts"]
         state["prev_ts"] = dataset_ts
         frame_no = state["frame_no"]
         state["frame_no"] += 1
 
-        # 2) observations travel with the (simulated) video payload.
+        if not state["connected"]:
+            # Radio off: the device keeps dead-reckoning on IMU for its
+            # display; nothing is uploaded, and the server-bound IMU
+            # interval stays anchored at the last delivered frame so the
+            # first post-rejoin upload bridges the whole window.
+            outcome.frames_offline += 1
+            return
+
+        # 2) the server-bound IMU delta spans back to the last *delivered*
+        # frame: an interval lost to an uplink drop accumulates into the
+        # next upload instead of vanishing (Alg. 1's C_IMU survives loss).
+        anchor = state["imu_anchor_ts"]
+        if anchor is None:
+            upload_delta = None
+            bridged_s = 0.0
+        elif prev_ts is not None and anchor < prev_ts - 1e-12:
+            upload_delta = preintegrate(state["imu"], anchor, dataset_ts)
+            bridged_s = prev_ts - anchor
+        else:
+            upload_delta = client_delta
+            bridged_s = 0.0
+
+        # 3) observations travel with the (simulated) video payload,
+        # framed through the endpoint layer (best-effort: a stale frame
+        # is not worth retransmitting, IMU bridges the gap instead).
         observations = state["oracle"].observe(
             dataset.world.positions, dataset.world.ids, dataset.pose_cw(frame_idx)
         )
-        link = self._links[scenario.client_id]
-        captured_at = self.clock.now
+        device_ep, _ = self._endpoints[scenario.client_id]
+        packet = _FramePacket(
+            frame_no=frame_no,
+            dataset_ts=dataset_ts,
+            observations=observations,
+            imu_delta=upload_delta,
+            captured_at=self.clock.now,
+            bridged_s=bridged_s,
+        )
 
-        def on_uplink_delivered() -> None:
-            # 3) server tracking (GPU-accelerated, possibly shared).
+        def on_uplink_dropped(message) -> None:
+            outcome.uplink_drops += 1
+            _uplink_drops_total.inc()
+
+        _frames_uploaded.inc()
+        device_ep.send(
+            "frame", upload.video_bytes, payload=packet,
+            on_dropped=on_uplink_dropped,
+        )
+
+    def _make_server_frame_handler(self, state):
+        """Server-side processing of one delivered ``frame`` message."""
+        scenario: ClientScenario = state["scenario"]
+        client: SlamShareClient = state["client"]
+        outcome = self.outcomes[scenario.client_id]
+
+        def on_frame(message) -> None:
+            if not state["connected"] or self.server.is_parked(scenario.client_id):
+                return  # in-flight frame landed after the disconnect
+            packet: _FramePacket = message.payload
+            if packet.bridged_s > 0:
+                # This delivery's delta recovered intervals lost upstream.
+                outcome.frames_recovered += 1
+                _frames_recovered.inc()
+                _gap_hist.record(packet.bridged_s * 1e3)
+            anchor = state["imu_anchor_ts"]
+            state["imu_anchor_ts"] = (
+                packet.dataset_ts if anchor is None
+                else max(anchor, packet.dataset_ts)
+            )
+            # server tracking (GPU-accelerated, possibly shared).
             result = self.server.process_frame(
-                scenario.client_id, dataset_ts, observations, imu_delta=delta
+                scenario.client_id, packet.dataset_ts, packet.observations,
+                imu_delta=packet.imu_delta,
             )
             outcome.frames_processed += 1
             if not result.tracking_success:
@@ -380,18 +505,83 @@ class SlamShareSession:
             track_s = result.latency.total / 1e3
 
             def send_pose() -> None:
-                def on_pose_delivered() -> None:
-                    client.receive_server_pose(frame_no, pose)
-                    rtt_ms = (self.clock.now - captured_at) * 1e3
-                    outcome.pose_rtts_ms.append(rtt_ms)
-                    _pose_rtt_hist.record(rtt_ms)
+                if not state["connected"]:
+                    return
+                _, server_ep = self._endpoints[scenario.client_id]
 
-                link.downlink.send(128 + 40, on_pose_delivered)
+                def on_pose_dropped(m) -> None:
+                    outcome.pose_drops += 1
+
+                server_ep.send(
+                    "pose", 128,
+                    payload=_PosePacket(packet.frame_no, pose,
+                                        packet.captured_at),
+                    on_dropped=on_pose_dropped,
+                )
 
             self.clock.schedule(track_s, send_pose)
 
-        _frames_uploaded.inc()
-        link.uplink.send(upload.video_bytes + 40, on_uplink_delivered)
+        return on_frame
+
+    def _make_client_pose_handler(self, state):
+        """Client-side fusion of one delivered ``pose`` message."""
+        client: SlamShareClient = state["client"]
+        outcome = self.outcomes[state["scenario"].client_id]
+
+        def on_pose(message) -> None:
+            if not state["connected"]:
+                return  # pose landed while the radio was off
+            packet: _PosePacket = message.payload
+            client.receive_server_pose(packet.frame_no, packet.pose_cw)
+            rtt_ms = (self.clock.now - packet.captured_at) * 1e3
+            outcome.pose_rtts_ms.append(rtt_ms)
+            _pose_rtt_hist.record(rtt_ms)
+
+        return on_pose
+
+    # -------------------------------------------------------------- churn
+    def disconnect_client(self, client_id: int) -> None:
+        """Take a client offline mid-session (radio off).
+
+        Pending reliable transfers on both endpoints are cancelled (and
+        their retransmission timers removed from the clock), the server
+        parks the per-client process, and the device falls back to IMU
+        dead-reckoning until :meth:`rejoin_client`.
+        """
+        state = self._per_client.get(client_id)
+        if state is None:
+            raise ValueError(f"unknown client {client_id}")
+        if not state["connected"]:
+            return
+        state["connected"] = False
+        device_ep, server_ep = self._endpoints[client_id]
+        cancelled = device_ep.cancel_pending() + server_ep.cancel_pending()
+        self.server.park_client(client_id)
+        self.outcomes[client_id].disconnects += 1
+        _log.info(
+            "client disconnect: %s",
+            kv(client=client_id, t=self.clock.now, cancelled=cancelled),
+        )
+
+    def rejoin_client(self, client_id: int) -> None:
+        """Bring a disconnected client back into the session.
+
+        The server unparks its process; the first upload after rejoin
+        carries the IMU delta accumulated across the offline window, so
+        tracking reacquires from that prior or falls back to BoW
+        relocalization against the (possibly global) map.
+        """
+        state = self._per_client.get(client_id)
+        if state is None:
+            raise ValueError(f"unknown client {client_id}")
+        if state["connected"]:
+            return
+        state["connected"] = True
+        self.server.unpark_client(client_id)
+        self.outcomes[client_id].rejoins += 1
+        _log.info(
+            "client rejoin: %s", kv(client=client_id, t=self.clock.now)
+        )
 
     # ------------------------------------------------------------- extras
     def place_hologram(self, client_id: int, position, timestamp: float):

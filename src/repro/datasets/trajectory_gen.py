@@ -8,7 +8,7 @@ downward pitch — drones and dash-cams both roughly do this.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

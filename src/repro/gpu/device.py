@@ -18,7 +18,7 @@ from wall-clock benchmarking (see DESIGN.md §5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from ..obs import get_metrics

@@ -11,7 +11,7 @@ is what the GPU-sharing ablation measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..net.simclock import SimClock

@@ -11,7 +11,7 @@ re-propagated through the buffered deltas up to the present.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -20,7 +20,7 @@ This is the ``C_IMU`` (RotΔ/VelΔ/PosΔ) input of the paper's Alg. 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import List
 
 import numpy as np
 

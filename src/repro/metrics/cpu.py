@@ -10,8 +10,8 @@ frame* with per-operation cycle costs, then converting to utilization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 

@@ -21,6 +21,10 @@ from .tc import (
 from .transport import (
     ACK_BYTES,
     FRAME_HEADER_BYTES,
+    MSG_DELIVERED,
+    MSG_DROPPED,
+    MSG_PENDING,
+    ArqConfig,
     Endpoint,
     Message,
     connect,
@@ -30,12 +34,16 @@ from .transport import (
 __all__ = [
     "ACK_BYTES",
     "ALL_PROFILES",
+    "ArqConfig",
     "DuplexLink",
     "Endpoint",
     "FRAME_HEADER_BYTES",
     "Link",
     "LinkStats",
     "MBIT",
+    "MSG_DELIVERED",
+    "MSG_DROPPED",
+    "MSG_PENDING",
     "Message",
     "PROFILE_BW_18_7",
     "PROFILE_BW_9_4",

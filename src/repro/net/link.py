@@ -110,6 +110,15 @@ class Link:
         """Idle-link latency for a message of this size (no queueing)."""
         return self.transmission_delay(n_bytes) + self.delay_s
 
+    def delivery_estimate(self, n_bytes: int) -> float:
+        """Expected time-to-delivery if a message were enqueued *now*.
+
+        Includes the current FIFO backlog, so ARQ retransmission timers
+        can adapt to congestion instead of firing spuriously.
+        """
+        backlog = max(0.0, self._wire_free_at - self.clock.now)
+        return backlog + self.transmission_delay(n_bytes) + self.delay_s
+
 
 @dataclass
 class DuplexLink:

@@ -13,7 +13,6 @@ arrays are written raw (dtype-tagged); maps round-trip exactly.
 from __future__ import annotations
 
 import struct
-from typing import Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ true cross-process operation (see :mod:`repro.sharedmem.shm_backend`).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from ..obs import get_metrics, get_tracer

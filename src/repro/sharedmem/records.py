@@ -24,7 +24,6 @@ MapPoint record::
 from __future__ import annotations
 
 import struct
-from typing import Tuple
 
 import numpy as np
 

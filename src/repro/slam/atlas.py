@@ -10,12 +10,12 @@ activate, look up by entity id, and merge members pairwise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..vision.camera import PinholeCamera
 from .bow import KeyframeDatabase, Vocabulary
-from .map import IdAllocator, SlamMap
+from .map import SlamMap
 from .merging import MapMerger, MergeResult, MergerConfig
 
 

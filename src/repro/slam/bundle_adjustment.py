@@ -22,7 +22,6 @@ from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
-from ..geometry import SE3
 from ..vision.camera import PinholeCamera
 from .map import SlamMap
 from .pnp import solve_pnp

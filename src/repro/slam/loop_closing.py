@@ -16,7 +16,7 @@ from typing import List, Optional, Set
 
 import numpy as np
 
-from ..geometry import SE3, ransac_umeyama
+from ..geometry import ransac_umeyama
 from ..vision.camera import PinholeCamera
 from ..vision.matching import match_descriptors
 from .bow import KeyframeDatabase

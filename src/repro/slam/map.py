@@ -9,12 +9,12 @@ when maps are merged.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 import networkx as nx
 import numpy as np
 
-from ..geometry import SE3, Trajectory, TrajectoryPoint, quaternion
+from ..geometry import Trajectory, TrajectoryPoint, quaternion
 from .keyframe import KeyFrame
 from .mappoint import MapPoint
 

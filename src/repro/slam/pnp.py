@@ -20,7 +20,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..geometry import SE3, so3
+from ..geometry import SE3
 from ..vision.camera import PinholeCamera
 
 DEFAULT_PIXEL_SIGMA = 0.6       # px, keypoint localization noise

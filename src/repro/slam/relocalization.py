@@ -20,7 +20,7 @@ from ..vision.matching import match_descriptors
 from .bow import KeyframeDatabase, Vocabulary
 from .frame import Frame
 from .map import SlamMap
-from .pnp import PnPResult, solve_pnp, solve_pnp_ransac
+from .pnp import solve_pnp_ransac
 
 
 @dataclass

@@ -17,7 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..geometry import SE3, Trajectory, TrajectoryPoint, quaternion
-from ..imu import GRAVITY_W, ImuDelta, ImuState, propagate
+from ..imu import ImuDelta, ImuState, propagate
 from ..vision import ObservedFeature
 from ..vision.camera import PinholeCamera
 from .bow import KeyframeDatabase, Vocabulary, default_vocabulary

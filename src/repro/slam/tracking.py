@@ -16,7 +16,7 @@ Every call reports a :class:`TrackingWorkload` with the operation counts
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ A world point ``x_w`` is imaged by first applying the world->camera pose
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from ..geometry import SE3
 from .brief import hamming_distance_matrix
 from .camera import StereoRig
 from .image import Image
-from .orb import FeatureSet, OrbExtractor, OrbExtractorConfig
+from .orb import OrbExtractor, OrbExtractorConfig
 from .render import render_frame
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import euroc_dataset
-from repro.geometry import SE3, Trajectory
+from repro.geometry import Trajectory
 from repro.metrics import ascii_series, ascii_xy_plot, trajectory_topdown
 from repro.slam import Atlas, default_vocabulary
 from repro.vision import StereoMatcher, StereoRig, render_stereo_pair

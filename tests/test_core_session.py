@@ -19,7 +19,7 @@ from repro.core import (
     placement_error,
 )
 from repro.datasets import euroc_dataset
-from repro.geometry import SE3, Sim3
+from repro.geometry import Sim3
 from repro.net import PROFILE_DELAY_300MS
 
 

@@ -7,7 +7,6 @@ the way the architecture promises (IMU bridges gaps, merges retry,
 nothing corrupts).
 """
 
-import numpy as np
 import pytest
 
 from repro.core import ClientScenario, SlamShareConfig, SlamShareSession
@@ -108,6 +107,98 @@ class TestObservationOutage:
         traj = result.server.client_trajectory(0)
         assert traj.timestamps[-1] > blackout[1]
         assert result.client_ate(0).rmse < 0.15
+
+
+class TestClientChurn:
+    def test_disconnect_rejoin_relocalizes_and_stays_accurate(self):
+        """A client drops off mid-session and rejoins 2.5 s later: the
+        server parks and resumes its process, the first post-rejoin
+        upload bridges the window with accumulated IMU, and accuracy
+        stays in the paper's regime (acceptance: ATE RMSE < 0.15)."""
+        session = _session()
+        session.clock.schedule_at(5.0, lambda: session.disconnect_client(0))
+        session.clock.schedule_at(7.5, lambda: session.rejoin_client(0))
+        result = session.run()
+        outcome = result.outcomes[0]
+        assert outcome.disconnects == 1
+        assert outcome.rejoins == 1
+        assert outcome.frames_offline > 0
+        # The rejoin delivery bridged the offline window's IMU interval.
+        assert outcome.frames_recovered >= 1
+        # Tracking resumed past the outage (IMU prior or relocalization).
+        traj = result.server.client_trajectory(0)
+        assert traj.timestamps[-1] > 7.5
+        for cid in result.outcomes:
+            assert result.client_ate(cid).rmse < 0.15
+
+    def test_offline_window_scenario_field(self):
+        """Declarative churn via ClientScenario.offline_windows."""
+        mh04 = euroc_dataset("MH04", duration=12.0, rate=10.0)
+        mh05 = euroc_dataset("MH05", duration=9.0, rate=10.0)
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        session = SlamShareSession(
+            [
+                ClientScenario(0, mh04, offline_windows=((5.0, 7.0),)),
+                ClientScenario(1, mh05, start_time=3.0, oracle_seed=9,
+                               imu_seed=13),
+            ],
+            config,
+        )
+        result = session.run()
+        outcome = result.outcomes[0]
+        assert outcome.disconnects == 1 and outcome.rejoins == 1
+        assert result.client_ate(0).rmse < 0.15
+
+    def test_churn_under_heavy_loss_no_corruption(self):
+        """Disconnect/rejoin on a 35% lossy link: the session completes,
+        drops are accounted per client, lost IMU intervals accumulate
+        into later uploads, and the shared map stays structurally sound."""
+        lossy = ShapingProfile("terrible link", loss_rate=0.35)
+        session = _session(shaping=lossy)
+        session.clock.schedule_at(5.0, lambda: session.disconnect_client(0))
+        session.clock.schedule_at(7.5, lambda: session.rejoin_client(0))
+        result = session.run()
+        outcome = result.outcomes[0]
+        assert outcome.uplink_drops > 0
+        assert outcome.frames_recovered > 0
+        gmap = result.server.global_map
+        for kf in gmap.keyframes.values():
+            for pid in kf.observed_point_ids():
+                assert int(pid) in gmap.mappoints or int(pid) < 0
+
+    def test_double_disconnect_and_rejoin_are_idempotent(self):
+        session = _session()
+        session.clock.schedule_at(5.0, lambda: session.disconnect_client(0))
+        session.clock.schedule_at(5.1, lambda: session.disconnect_client(0))
+        session.clock.schedule_at(7.0, lambda: session.rejoin_client(0))
+        session.clock.schedule_at(7.1, lambda: session.rejoin_client(0))
+        result = session.run()
+        outcome = result.outcomes[0]
+        assert outcome.disconnects == 1 and outcome.rejoins == 1
+
+    def test_unknown_client_rejected(self):
+        session = _session()
+        with pytest.raises(ValueError):
+            session.disconnect_client(99)
+
+
+class TestUplinkDropAccounting:
+    def test_per_client_drop_counts_match_link_stats(self):
+        """Satellite: session traffic rides the Endpoint layer, so the
+        per-client uplink drop counts in ClientOutcome must agree with
+        the link-level loss accounting."""
+        lossy = ShapingProfile("lossy wifi", loss_rate=0.10)
+        session = _session(shaping=lossy)
+        result = session.run()
+        for cid, outcome in result.outcomes.items():
+            link = session._links[cid]
+            device_ep, _ = session._endpoints[cid]
+            assert outcome.uplink_drops == link.uplink.stats.messages_dropped
+            assert outcome.uplink_drops == len(device_ep.dropped)
+            assert outcome.uplink_drops > 0
+            # Frames either processed or dropped; none silently vanish.
+            uploaded = len(device_ep.sent)
+            assert outcome.frames_processed + outcome.uplink_drops == uploaded
 
 
 class TestMergeRobustness:

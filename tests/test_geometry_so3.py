@@ -1,7 +1,6 @@
 """Unit and property tests for SO(3) utilities."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.gpu import (
-    CpuCostModel,
-    GpuCostModel,
     GpuScheduler,
     TrackingLatencyModel,
     time_fast_kernels,

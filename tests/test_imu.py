@@ -5,7 +5,6 @@ import pytest
 
 from repro.geometry import SE3, Trajectory, quaternion
 from repro.imu import (
-    GRAVITY_W,
     ClientMotionModel,
     FusionConfig,
     ImuBuffer,

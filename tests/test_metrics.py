@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geometry import SE3, Sim3, Trajectory, so3
+from repro.geometry import SE3, Trajectory, so3
 from repro.metrics import (
     CpuAccountant,
     FpsTracker,

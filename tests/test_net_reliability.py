@@ -1,0 +1,254 @@
+"""Tests for the ARQ reliability layer: loss-path accounting, retransmission,
+timer hygiene on the SimClock, and client churn bookkeeping.
+
+The transport used to swallow loss silently: ``Endpoint.send`` ignored the
+drop signal from ``Link.send`` (leaving the ``Message`` looking delivered
+with a *negative* latency) and ``timed_transfer`` hard-crashed on a single
+lost packet.  These tests pin the repaired semantics.
+"""
+
+import math
+
+import pytest
+
+from repro.net import (
+    ArqConfig,
+    Link,
+    SimClock,
+    connect,
+    timed_transfer,
+)
+from repro.net.link import DuplexLink
+from repro.obs import get_metrics
+
+
+def _lossy_pair(loss_rate, seed=0, arq=None, **link_kwargs):
+    clock = SimClock()
+    link = DuplexLink(
+        uplink=Link(clock, loss_rate=loss_rate, seed=seed, **link_kwargs),
+        downlink=Link(clock, loss_rate=loss_rate, seed=seed + 1, **link_kwargs),
+    )
+    client, server = connect("c", "s", clock, link, arq=arq)
+    return clock, link, client, server
+
+
+class TestBestEffortLossAccounting:
+    def test_dropped_messages_never_appear_delivered(self):
+        clock, link, client, server = _lossy_pair(0.5, seed=0)
+        sent = [client.send("frame", 100) for _ in range(200)]
+        clock.run()
+        n_dropped = sum(1 for m in sent if m.is_dropped)
+        n_delivered = sum(1 for m in sent if m.is_delivered)
+        assert n_dropped > 0 and n_delivered > 0
+        assert n_dropped + n_delivered == len(sent)
+        # Endpoint-side lists agree with per-message state.
+        assert len(client.dropped) == n_dropped
+        assert len(server.received) == n_delivered
+        assert not any(m.is_dropped for m in server.received)
+
+    def test_dropped_latency_is_never_negative(self):
+        """Regression: the old transport left ``delivered_at`` at 0.0 on a
+        drop, so ``latency`` went negative once sim time advanced."""
+        clock, link, client, server = _lossy_pair(0.5, seed=0, delay_s=0.01)
+        clock.schedule(1.0, lambda: None)
+        clock.run()  # advance sim time first
+        sent = [client.send("frame", 100) for _ in range(50)]
+        clock.run()
+        for m in sent:
+            assert m.latency >= 0.0
+            if m.is_dropped:
+                assert m.delivered_at is None
+                assert m.latency == math.inf
+
+    def test_endpoint_drops_agree_with_link_stats(self):
+        """Best-effort messages ride the link exactly once, so endpoint
+        drop counts and ``LinkStats.messages_dropped`` must match."""
+        clock, link, client, server = _lossy_pair(0.3, seed=2)
+        for _ in range(300):
+            client.send("frame", 64)
+        clock.run()
+        assert len(client.dropped) == link.uplink.stats.messages_dropped
+        assert len(client.sent) == 300
+        assert len(server.received) == link.uplink.stats.messages_sent
+
+    def test_link_drop_counter_matches_endpoint_drops(self):
+        metrics = get_metrics()
+        was_enabled = metrics.enabled
+        metrics.configure(True)
+        metrics.reset()
+        try:
+            clock, link, client, server = _lossy_pair(0.3, seed=7)
+            for _ in range(200):
+                client.send("frame", 64)
+            clock.run()
+            snap = metrics.snapshot()["counters"]
+            assert snap["net.link_drops"] == link.uplink.stats.messages_dropped
+            assert snap["net.endpoint_drops"] == len(client.dropped)
+            assert snap["net.link_drops"] == snap["net.endpoint_drops"]
+        finally:
+            metrics.reset()
+            metrics.configure(was_enabled)
+
+    def test_on_dropped_callback_fires(self):
+        clock, link, client, server = _lossy_pair(0.5, seed=0)
+        dropped = []
+        for _ in range(100):
+            client.send("frame", 64, on_dropped=lambda m: dropped.append(m))
+        clock.run()
+        assert dropped
+        assert dropped == client.dropped
+
+
+class TestReliableDelivery:
+    def test_retransmission_delivers_under_loss(self):
+        """Lossy uplink, clean downlink: every message must eventually be
+        delivered AND acknowledged, at the cost of retransmissions."""
+        clock = SimClock()
+        link = DuplexLink(
+            uplink=Link(clock, loss_rate=0.5, seed=0, delay_s=0.005),
+            downlink=Link(clock, loss_rate=0.0, delay_s=0.005),
+        )
+        client, server = connect("c", "s", clock, link)
+        sent = [client.send("data", 1000, reliable=True) for _ in range(50)]
+        clock.run()
+        assert all(m.is_delivered for m in sent)
+        assert all(m.acked_at is not None for m in sent)
+        assert client.retransmits > 0
+        assert any(m.attempts > 1 for m in sent)
+
+    def test_bidirectional_loss_still_delivers(self):
+        clock, link, client, server = _lossy_pair(0.5, seed=0, delay_s=0.005)
+        sent = [client.send("data", 1000, reliable=True) for _ in range(50)]
+        clock.run()
+        # Every message reaches the peer (an unlucky one may stay un-ACKed
+        # when every ACK of every attempt is lost, but delivery holds).
+        assert all(m.is_delivered for m in sent)
+        assert client.retransmits > 0
+
+    def test_delivery_is_exactly_once(self):
+        """Lost ACKs force duplicate copies; the receiver must deliver
+        (and dispatch the handler) only once per message."""
+        clock, link, client, server = _lossy_pair(0.5, seed=1, delay_s=0.005)
+        got = []
+        server.on("data", lambda m: got.append(m.seq))
+        sent = [client.send("data", 100, reliable=True) for _ in range(50)]
+        clock.run()
+        assert all(m.is_delivered for m in sent)
+        assert sorted(got) == sorted(m.seq for m in sent)
+        assert len(set(got)) == len(got)
+
+    def test_retry_cap_drops_cleanly(self):
+        arq = ArqConfig(initial_timeout_s=0.01, max_retries=2)
+        clock, link, client, server = _lossy_pair(0.999, seed=0, arq=arq)
+        dropped = []
+        message = client.send(
+            "data", 100, reliable=True, on_dropped=lambda m: dropped.append(m)
+        )
+        clock.run()
+        assert message.is_dropped
+        assert message.attempts == 3          # first copy + 2 retries
+        assert dropped == [message]
+        assert message not in server.received
+        assert client.n_pending == 0
+
+    def test_no_loss_costs_no_retransmission(self):
+        clock, link, client, server = _lossy_pair(0.0)
+        sent = [client.send("data", 100, reliable=True) for _ in range(20)]
+        clock.run()
+        assert all(m.is_delivered and m.attempts == 1 for m in sent)
+        assert client.retransmits == 0
+        assert server.acks_sent == 20
+
+    def test_adaptive_timeout_no_spurious_retransmit_on_thin_pipe(self):
+        """A large payload on a slow link takes seconds to transmit; the
+        RTO must adapt instead of firing before the first copy lands."""
+        clock = SimClock()
+        link = DuplexLink(
+            uplink=Link(clock, bandwidth_bps=8e6, delay_s=0.05),
+            downlink=Link(clock, bandwidth_bps=8e6, delay_s=0.05),
+        )
+        client, server = connect("c", "s", clock, link)
+        message = client.send("data", 4_000_000, reliable=True)  # ~4 s of tx
+        clock.run()
+        assert message.is_delivered
+        assert message.attempts == 1
+        assert client.retransmits == 0
+
+    def test_cancel_pending_drops_and_clears_timers(self):
+        arq = ArqConfig(initial_timeout_s=10.0)
+        clock, link, client, server = _lossy_pair(0.999, seed=0, arq=arq)
+        messages = [client.send("data", 100, reliable=True) for _ in range(5)]
+        assert client.n_pending == 5
+        assert clock.pending() >= 5           # armed retransmit timers
+        n = client.cancel_pending()
+        assert n == 5
+        assert client.n_pending == 0
+        assert all(m.is_dropped for m in messages)
+        assert clock.pending() == 0           # timers cancelled on the clock
+        clock.run()                           # nothing left to fire
+
+
+class TestTimedTransferUnderLoss:
+    def test_completes_via_retransmission_at_35_percent_loss(self):
+        """Acceptance: loss_rate=0.35 must cost retransmissions, not a
+        RuntimeError."""
+        clock = SimClock()
+        up = Link(clock, bandwidth_bps=8e6, delay_s=0.05, loss_rate=0.35, seed=3)
+        down = Link(clock, bandwidth_bps=8e6, delay_s=0.05, loss_rate=0.35, seed=4)
+        rtts = [timed_transfer(clock, up, down, 100_000) for _ in range(20)]
+        assert all(rtt > 0 for rtt in rtts)
+        assert up.stats.messages_dropped > 0  # loss actually happened
+
+    def test_lossless_value_matches_analytic(self):
+        clock = SimClock()
+        up = Link(clock, bandwidth_bps=8e6, delay_s=0.05)
+        down = Link(clock, bandwidth_bps=8e6, delay_s=0.05)
+        n = 1_000_000
+        measured = timed_transfer(clock, up, down, n)
+        expected = (n + 40) * 8 / 8e6 + 0.05 + 64 * 8 / 8e6 + 0.05
+        assert measured == pytest.approx(expected, rel=1e-6)
+
+    def test_exhausted_retries_fail_cleanly(self):
+        clock = SimClock()
+        up = Link(clock, loss_rate=0.999, seed=0)
+        down = Link(clock, loss_rate=0.999, seed=1)
+        arq = ArqConfig(initial_timeout_s=0.001, max_retries=3)
+        with pytest.raises(RuntimeError, match="retry cap"):
+            timed_transfer(clock, up, down, 1000, arq=arq)
+        clock.run()  # the clock is left in a consistent, drainable state
+
+
+class TestSimClockTimerHygiene:
+    def test_retransmit_timer_rearm_cancel_purge_interplay(self):
+        """Regression for the cancel/purge interplay ARQ leans on: a
+        per-message timer that is rearmed (schedule new, cancel old)
+        thousands of times must neither grow the heap unboundedly nor
+        corrupt the cancelled-count when dead events pop via step()."""
+        clock = SimClock()
+        fired = []
+        timer = clock.schedule(1e6, lambda: fired.append("timeout"))
+        for i in range(2000):
+            new_timer = clock.schedule(1e6 + i, lambda: fired.append("timeout"))
+            clock.cancel(timer)
+            timer = new_timer
+            if i % 100 == 0:
+                # Interleave live traffic so step() pops both kinds.
+                clock.schedule(0.0001, lambda: fired.append("tick"))
+                clock.run(until=clock.now + 0.001)
+        assert fired.count("tick") == 20
+        assert clock.pending() == 1   # exactly the live timer remains
+        # The lazy purge kept the heap proportional to live events.
+        assert len(clock._queue) < 200
+        clock.cancel(timer)
+        clock.run()
+        assert "timeout" not in fired
+
+    def test_cancel_after_fire_does_not_corrupt_pending(self):
+        clock = SimClock()
+        event = clock.schedule(0.1, lambda: None)
+        live = clock.schedule(0.2, lambda: None)
+        clock.run(until=0.15)
+        clock.cancel(event)  # already fired: must be a no-op
+        assert clock.pending() == 1
+        clock.run()
+        assert clock.pending() == 0

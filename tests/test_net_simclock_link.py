@@ -1,6 +1,5 @@
 """Tests for the discrete-event clock and shaped links."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -11,7 +10,6 @@ from repro.net import (
     PROFILE_BW_18_7,
     PROFILE_DELAY_300MS,
     PROFILE_IDEAL,
-    DuplexLink,
     Link,
     SimClock,
 )

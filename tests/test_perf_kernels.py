@@ -11,7 +11,7 @@ import pytest
 from repro.datasets import euroc_dataset
 from repro.net.simclock import SimClock
 from repro.gpu import GpuScheduler
-from repro.slam import SlamMap, Tracker
+from repro.slam import SlamMap
 from repro.slam.mappoint import MapPoint
 from repro.vision.brief import (
     DESCRIPTOR_BYTES,

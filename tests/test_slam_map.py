@@ -5,8 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.geometry import SE3, Sim3, so3
-from repro.slam import CLIENT_ID_STRIDE, IdAllocator, SlamMap
+from repro.geometry import Sim3
+from repro.slam import CLIENT_ID_STRIDE, IdAllocator
 from tests.test_net_serialization_transport import make_map
 
 

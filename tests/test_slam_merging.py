@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.datasets import euroc_dataset
-from repro.geometry import SE3, Sim3
 from repro.metrics import absolute_trajectory_error
 from repro.slam import (
     MapMerger,
@@ -14,7 +13,6 @@ from repro.slam import (
     default_vocabulary,
     detect_common_region,
 )
-from repro.slam.bow import KeyframeDatabase
 from tests.test_slam_system import run_system
 
 VOCAB = default_vocabulary()

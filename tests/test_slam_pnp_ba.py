@@ -1,7 +1,6 @@
 """Tests for PnP pose solving and bundle adjustment."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,11 +4,9 @@ import numpy as np
 import pytest
 
 from repro.datasets import euroc_dataset, kitti_dataset
-from repro.geometry import SE3
 from repro.imu import GRAVITY_W, ImuBuffer, preintegrate, synthesize_imu
 from repro.metrics import absolute_trajectory_error
 from repro.slam import SlamConfig, SlamSystem
-from repro.slam.local_mapping import LocalMappingConfig
 
 
 def run_system(dataset, duration=None, stereo=True, mono_scale=1.0,

@@ -5,7 +5,7 @@ import pytest
 
 from repro.datasets import euroc_dataset
 from repro.geometry import SE3
-from repro.slam import SlamConfig, SlamSystem, Tracker, TrackerConfig
+from repro.slam import Tracker, TrackerConfig
 from repro.slam.frame import Frame
 from repro.slam.keyframe import KeyFrame
 from repro.slam.mappoint import MapPoint

@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets import euroc_dataset
-from repro.geometry import SE3
 from repro.video import (
     H264LikeCodec,
     PngLikeCodec,

@@ -1,7 +1,6 @@
 """Tests for FAST detection: correctness and scalar/vectorized equivalence."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -91,7 +90,6 @@ class TestScalarVectorizedEquivalence:
     def _assert_same(self, img, threshold=20):
         scalar = detect_fast_scalar(img, threshold)
         vector = detect_fast_vectorized(img, threshold)
-        key = lambda k: (k.v, k.u)
         assert sorted([(k.v, k.u, k.response) for k in scalar]) == sorted(
             [(k.v, k.u, k.response) for k in vector]
         )
