@@ -1,0 +1,445 @@
+"""Scale-out serving load generator (sharding + batching + admission).
+
+Sweeps 4 -> 64 simulated clients through the serving layer twice per
+point — once with the unsharded/unbatched/unadmitted **baseline**
+configuration and once with the **tuned** scale-out configuration
+(16-shard map store, 8 ms cross-client micro-batching window, bounded
+per-client admission queues) — and reports frame p50/p95/p99, shed
+rate and map-lock wait statistics for each.  A separate thread storm
+hammers the *real* ``SharedMapStore`` vs ``ShardedMapStore`` with
+concurrent readers and publishers to measure wall-clock store-op
+latency and per-lock wait totals.
+
+The client/GPU pipeline runs on the deterministic :class:`SimClock`
+(identical numbers on every machine), so its percentiles are safe to
+gate in CI; the thread-storm section is wall-clock and reported for
+information only.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py                 # full sweep
+    PYTHONPATH=src python benchmarks/bench_scaling.py --smoke         # CI-sized
+    PYTHONPATH=src python benchmarks/bench_scaling.py --smoke \
+        --check BENCH_PR4.json                                        # scaling gate
+
+The ``--check`` gate fails when, at 32 clients, the tuned frame p95 is
+not at least 2x better than the baseline's, or the tuned shed rate
+reaches 10%.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.geometry import SE3
+from repro.gpu.scheduler import BatchingConfig, GpuScheduler
+from repro.net.simclock import SimClock
+from repro.sharedmem import ShardedMapStore, SharedMapStore, spatial_shard
+from repro.slam.keyframe import KeyFrame
+from repro.slam.mappoint import MapPoint
+
+CLIENT_FPS = 30.0
+GPU_MS = 0.7                # per-frame tracking kernel at full rate
+OVERHEAD_MS = 1.2           # fixed per-dispatch overhead
+WINDOW_MS = 8.0             # tuned coalescing window
+MAX_BATCH = 24
+P99_BUDGET_MS = 9.0         # latency budget for the solo-dispatch fallback
+QUEUE_DEPTH = 8             # tuned per-client admission queue
+KF_EVERY = 10               # every K-th frame publishes a keyframe
+PUBLISH_HOLD_MS = 2.0       # write-lock hold of one keyframe publish
+MERGE_EVERY = 400           # per-client frames between Alg.-2 merges
+MERGE_HOLD_MS = 15.0        # multi-shard write-lock hold of a merge
+MERGE_SPAN = 3              # shards a merge's weld region straddles
+N_SHARDS = 16
+REGION_M = 8.0
+GATE_CLIENTS = 32
+GATE_P95_RATIO = 2.0
+GATE_SHED_RATE = 0.10
+
+
+@dataclass
+class ServeProfile:
+    name: str
+    n_shards: int
+    batching: Optional[BatchingConfig]
+    queue_depth: Optional[int]          # None: unbounded (no admission)
+
+
+def baseline_profile() -> ServeProfile:
+    """Unsharded map, solo dispatches (overhead per frame), no admission."""
+    return ServeProfile(
+        name="baseline",
+        n_shards=1,
+        batching=BatchingConfig(window_s=0.0,
+                                dispatch_overhead_s=OVERHEAD_MS * 1e-3),
+        queue_depth=None,
+    )
+
+
+def tuned_profile() -> ServeProfile:
+    return ServeProfile(
+        name="tuned",
+        n_shards=N_SHARDS,
+        batching=BatchingConfig(
+            window_s=WINDOW_MS * 1e-3,
+            max_batch=MAX_BATCH,
+            dispatch_overhead_s=OVERHEAD_MS * 1e-3,
+            # Just under window + overhead + kernel: on an idle GPU the
+            # budget falls back to solo dispatch (light load never pays
+            # the window), while a backlogged GPU batches regardless.
+            p99_budget_s=P99_BUDGET_MS * 1e-3,
+        ),
+        queue_depth=QUEUE_DEPTH,
+    )
+
+
+def _pcts(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    arr = np.asarray(samples)
+    return {
+        "count": len(samples),
+        "p50_ms": round(float(np.percentile(arr, 50)), 3),
+        "p95_ms": round(float(np.percentile(arr, 95)), 3),
+        "p99_ms": round(float(np.percentile(arr, 99)), 3),
+    }
+
+
+def run_serving_sim(n_clients: int, profile: ServeProfile,
+                    duration_s: float) -> Dict[str, object]:
+    """Play one configuration's client load on the simulated clock.
+
+    Models, per frame: a local-map read against the client's region
+    shard (waits while a publish holds that shard's write lock), the
+    tracking kernel on the shared GPU (batched or solo dispatch), and
+    the admission decision.  Every K-th frame additionally publishes a
+    keyframe (single-shard write hold); periodic merges take an
+    ordered multi-shard write hold spanning ``MERGE_SPAN`` shards.
+    """
+    clock = SimClock()
+    sched = GpuScheduler(clock, mode="temporal", batching=profile.batching)
+    shard_busy = [0.0] * profile.n_shards
+    latencies: List[float] = []
+    read_waits: List[float] = []
+    write_waits: List[float] = []
+    in_flight: Dict[int, int] = defaultdict(int)
+    counters = {"frames": 0, "shed": 0}
+    # Each client roams its own spatial region; its reads and publishes
+    # land on the shard that region hashes to.
+    client_shard = [
+        spatial_shard((7.3 * c + 0.5, (3.1 * c) % 29.0, 1.0), REGION_M,
+                      profile.n_shards)
+        for c in range(n_clients)
+    ]
+    period = 1.0 / CLIENT_FPS
+
+    def frame_event(c: int, i: int) -> None:
+        counters["frames"] += 1
+        t = clock.now
+        if (profile.queue_depth is not None
+                and in_flight[c] >= profile.queue_depth):
+            counters["shed"] += 1
+            return
+        in_flight[c] += 1
+        shard = client_shard[c]
+        # Local-map read: blocked while a publish/merge holds the shard.
+        wait = max(0.0, shard_busy[shard] - t)
+        read_waits.append(wait * 1e3)
+        # Deterministic per-frame size jitter, no RNG.
+        gpu_s = (GPU_MS + 0.02 * ((i * 7 + c * 3) % 5)) * 1e-3
+
+        def done() -> None:
+            in_flight[c] -= 1
+            latencies.append((clock.now - t) * 1e3)
+
+        def submit() -> None:
+            sched.submit(c, gpu_s, on_done=done)
+
+        if wait > 0:
+            clock.schedule(wait, submit)
+        else:
+            submit()
+        if i % KF_EVERY == KF_EVERY - 1:
+            start = max(shard_busy[shard], t)
+            write_waits.append((start - t) * 1e3)
+            shard_busy[shard] = start + PUBLISH_HOLD_MS * 1e-3
+        if i % MERGE_EVERY == MERGE_EVERY - 1:
+            span = sorted({(shard + k) % profile.n_shards
+                           for k in range(MERGE_SPAN)})
+            start = max([t] + [shard_busy[s] for s in span])
+            write_waits.append((start - t) * 1e3)
+            for s in span:
+                shard_busy[s] = start + MERGE_HOLD_MS * 1e-3
+
+    n_frames = int(duration_s * CLIENT_FPS)
+    for c in range(n_clients):
+        offset = (c / n_clients) * period
+        for i in range(n_frames):
+            clock.schedule_at(offset + i * period, partial(frame_event, c, i))
+    clock.run()
+    shed_rate = (counters["shed"] / counters["frames"]
+                 if counters["frames"] else 0.0)
+    return {
+        "frames": counters["frames"],
+        "shed": counters["shed"],
+        "shed_rate": round(shed_rate, 4),
+        "frame": _pcts(latencies),
+        "lock_wait_read": _pcts(read_waits),
+        "lock_wait_write": _pcts(write_waits),
+        "batches": sched.batches_dispatched,
+        "solo_dispatches": sched.solo_dispatches,
+        "mean_batch_size": round(sched.mean_batch_size, 2),
+    }
+
+
+def serving_sweep(client_counts: List[int],
+                  duration_s: float) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    print(f"serving sweep ({duration_s:.0f}s sim per point, "
+          f"{CLIENT_FPS:.0f} FPS per client):")
+    for n in client_counts:
+        base = run_serving_sim(n, baseline_profile(), duration_s)
+        tuned = run_serving_sim(n, tuned_profile(), duration_s)
+        ratio = (base["frame"]["p95_ms"] / tuned["frame"]["p95_ms"]
+                 if tuned["frame"]["p95_ms"] > 0 else float("inf"))
+        out[str(n)] = {
+            "baseline": base,
+            "tuned": tuned,
+            "p95_ratio": round(ratio, 2),
+        }
+        print(f"  {n:>3} clients  baseline p95 "
+              f"{base['frame']['p95_ms']:>10.2f} ms   tuned p95 "
+              f"{tuned['frame']['p95_ms']:>8.2f} ms   ratio "
+              f"{ratio:>8.1f}x   shed {tuned['shed_rate'] * 100:5.1f}%   "
+              f"batch {tuned['mean_batch_size']:.1f}")
+    return out
+
+
+# --------------------------------------------------------------- thread storm
+def _make_entities(n_keyframes: int, n_features: int = 24, spread: float = 80.0):
+    """Synthetic keyframes + map points spread across spatial regions."""
+    rng = np.random.default_rng(42)
+    kfs, points = [], []
+    next_point = 0
+    for k in range(n_keyframes):
+        center = rng.uniform(-spread, spread, 3)
+        pose = SE3(np.eye(3), -center)      # camera center == `center`
+        point_ids = np.arange(next_point, next_point + n_features,
+                              dtype=np.int64)
+        descriptors = rng.integers(0, 256, (n_features, 32), dtype=np.uint8)
+        kfs.append(KeyFrame(
+            keyframe_id=k,
+            timestamp=float(k),
+            pose_cw=pose,
+            uv=rng.uniform(0, 640, (n_features, 2)),
+            descriptors=descriptors,
+            depths=rng.uniform(1, 10, n_features),
+            point_ids=point_ids,
+            bow_vector={int(w): float(rng.random())
+                        for w in rng.integers(0, 512, 6)},
+        ))
+        for i, pid in enumerate(point_ids):
+            points.append(MapPoint(
+                point_id=int(pid),
+                position=center + rng.normal(0, 1.5, 3),
+                descriptor=descriptors[i],
+                observations={k: i},
+            ))
+        next_point += n_features
+    return kfs, points
+
+
+def _store_locks(store):
+    if isinstance(store, ShardedMapStore):
+        return [shard.lock for shard in store.shards]
+    return [store.lock]
+
+
+def run_store_storm(store, kfs, points, seconds: float, n_writers: int,
+                    n_readers: int) -> Dict[str, object]:
+    """Concurrent real-thread publish/read storm against one store."""
+    store.publish_map(kfs, points)
+    stop = threading.Event()
+    read_samples: List[List[float]] = [[] for _ in range(n_readers)]
+    write_samples: List[List[float]] = [[] for _ in range(n_writers)]
+
+    def writer(w: int) -> None:
+        rng = np.random.default_rng(100 + w)
+        my = write_samples[w]
+        while not stop.is_set():
+            kf = kfs[int(rng.integers(len(kfs)))]
+            pts = [points[int(p)] for p in kf.point_ids[:6]]
+            t0 = time.perf_counter_ns()
+            store.publish_map([kf], pts)
+            my.append((time.perf_counter_ns() - t0) / 1e3)
+
+    def reader(r: int) -> None:
+        rng = np.random.default_rng(200 + r)
+        my = read_samples[r]
+        while not stop.is_set():
+            t0 = time.perf_counter_ns()
+            store.get_keyframe(int(rng.integers(len(kfs))))
+            my.append((time.perf_counter_ns() - t0) / 1e3)
+
+    threads = ([threading.Thread(target=writer, args=(w,))
+                for w in range(n_writers)]
+               + [threading.Thread(target=reader, args=(r,))
+                  for r in range(n_readers)])
+    for t in threads:
+        t.start()
+    time.sleep(seconds)
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+    locks = _store_locks(store)
+    reads = [s for chunk in read_samples for s in chunk]
+    writes = [s for chunk in write_samples for s in chunk]
+
+    def _us_pcts(samples):
+        if not samples:
+            return {"count": 0}
+        arr = np.asarray(samples)
+        return {
+            "count": len(samples),
+            "p50_us": round(float(np.percentile(arr, 50)), 2),
+            "p95_us": round(float(np.percentile(arr, 95)), 2),
+            "p99_us": round(float(np.percentile(arr, 99)), 2),
+        }
+
+    return {
+        "read_op": _us_pcts(reads),
+        "write_op": _us_pcts(writes),
+        "read_ops_per_s": round(len(reads) / seconds),
+        "write_ops_per_s": round(len(writes) / seconds),
+        "lock_read_wait_ms": round(
+            sum(lk.read_wait_ns for lk in locks) / 1e6, 2),
+        "lock_write_wait_ms": round(
+            sum(lk.write_wait_ns for lk in locks) / 1e6, 2),
+    }
+
+
+def storm_section(smoke: bool) -> Dict[str, object]:
+    n_kf = 60 if smoke else 200
+    seconds = 0.4 if smoke else 2.0
+    n_writers = 2 if smoke else 4
+    n_readers = 6 if smoke else 12
+    print(f"store thread storm ({n_writers} writers / {n_readers} readers, "
+          f"{seconds:.1f}s each):")
+    results = {}
+    for label, store in (
+        ("unsharded", SharedMapStore(capacity=64 * 1024 * 1024)),
+        ("sharded", ShardedMapStore(n_shards=N_SHARDS,
+                                    capacity=64 * 1024 * 1024,
+                                    region_size=REGION_M)),
+    ):
+        kfs, points = _make_entities(n_kf)
+        results[label] = run_store_storm(store, kfs, points, seconds,
+                                         n_writers, n_readers)
+        r = results[label]
+        print(f"  {label:<10} read p95 {r['read_op'].get('p95_us', 0):>9.1f} us"
+              f"   write p95 {r['write_op'].get('p95_us', 0):>9.1f} us"
+              f"   read wait {r['lock_read_wait_ms']:>8.1f} ms total")
+    un, sh = results["unsharded"], results["sharded"]
+    if sh["read_op"].get("p95_us"):
+        results["read_p95_ratio"] = round(
+            un["read_op"]["p95_us"] / sh["read_op"]["p95_us"], 2)
+    return results
+
+
+# -------------------------------------------------------------------- gating
+def check_gates(report: Dict, baseline_path: str) -> int:
+    """Fail when scale-out regresses past the acceptance thresholds."""
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    point = report["serving"].get(str(GATE_CLIENTS))
+    failures = []
+    if point is None:
+        failures.append(f"no {GATE_CLIENTS}-client sweep point in this run")
+    else:
+        if point["p95_ratio"] < GATE_P95_RATIO:
+            failures.append(
+                f"{GATE_CLIENTS}-client frame p95 ratio "
+                f"{point['p95_ratio']:.2f}x < required {GATE_P95_RATIO:.1f}x")
+        shed = point["tuned"]["shed_rate"]
+        if shed >= GATE_SHED_RATE:
+            failures.append(
+                f"{GATE_CLIENTS}-client tuned shed rate {shed:.1%} >= "
+                f"{GATE_SHED_RATE:.0%}")
+        section = ("smoke_serving" if report["mode"] == "smoke"
+                   else "serving")
+        base_serving = baseline.get(section) or baseline.get("serving", {})
+        base_point = base_serving.get(str(GATE_CLIENTS))
+        if base_point and point["p95_ratio"] < base_point["p95_ratio"] / 2.0:
+            print(f"  warning: p95 ratio {point['p95_ratio']:.1f}x is less "
+                  f"than half the committed baseline's "
+                  f"{base_point['p95_ratio']:.1f}x")
+    if failures:
+        print("SCALING REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"scaling gate vs {baseline_path}: ok "
+          f"(ratio >= {GATE_P95_RATIO:.1f}x, shed < {GATE_SHED_RATE:.0%} "
+          f"at {GATE_CLIENTS} clients)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep / short storm (CI)")
+    parser.add_argument("--skip-storm", action="store_true",
+                        help="simulated sweep only (skip thread storm)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (e.g. BENCH_PR4.json)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="enforce the scale-out acceptance gates against "
+                             "a committed baseline; exit non-zero on failure")
+    args = parser.parse_args(argv)
+
+    counts = [4, GATE_CLIENTS] if args.smoke else [4, 8, 16, GATE_CLIENTS, 64]
+    duration = 6.0 if args.smoke else 16.0
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "generated_by": "benchmarks/bench_scaling.py",
+        "params": {
+            "fps": CLIENT_FPS, "gpu_ms": GPU_MS, "overhead_ms": OVERHEAD_MS,
+            "window_ms": WINDOW_MS, "max_batch": MAX_BATCH,
+            "p99_budget_ms": P99_BUDGET_MS,
+            "queue_depth": QUEUE_DEPTH, "n_shards": N_SHARDS,
+            "duration_s": duration,
+        },
+        "serving": serving_sweep(counts, duration),
+        "gate": {"clients": GATE_CLIENTS, "p95_ratio_min": GATE_P95_RATIO,
+                 "shed_rate_max": GATE_SHED_RATE},
+    }
+    if not args.smoke and args.out:
+        # Record smoke-sized numbers too, so CI smoke runs have a
+        # like-for-like section for drift comparison.
+        print("smoke-sized reference pass (for CI --check):")
+        report["smoke_serving"] = serving_sweep([4, GATE_CLIENTS], 6.0)
+    if not args.skip_storm:
+        report["storm"] = storm_section(args.smoke)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        return check_gates(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,12 @@ from .baseline import (
     SyncRound,
 )
 from .client import FrameUpload, SlamShareClient
-from .config import BaselineConfig, MergeCostModel, SlamShareConfig
+from .config import (
+    BaselineConfig,
+    MergeCostModel,
+    ServingConfig,
+    SlamShareConfig,
+)
 from .orchestrator import Orchestrator, OrchestratorConfig
 from .holograms import (
     Hologram,
@@ -39,6 +44,7 @@ __all__ = [
     "Orchestrator",
     "OrchestratorConfig",
     "ServerFrameResult",
+    "ServingConfig",
     "SessionResult",
     "SlamShareClient",
     "SlamShareConfig",

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..gpu.device import CpuCostModel, GpuCostModel
+from ..gpu.scheduler import BatchingConfig
 from ..net.tc import PROFILE_IDEAL, ShapingProfile
 from ..net.transport import ArqConfig
 from ..slam.merging import MergerConfig
@@ -48,6 +50,47 @@ class MergeCostModel:
 
 
 @dataclass
+class ServingConfig:
+    """Scale-out serving policy: sharding, batching, admission control.
+
+    The defaults keep small sessions byte-for-byte compatible with the
+    pre-scale-out behavior (no batching window, no staleness shedding,
+    a queue deep enough that 4-client sessions never shed) while the
+    sharded store and admission bookkeeping are always on.  Set
+    ``map_shards=1`` and ``admission=False`` for the unsharded /
+    unadmitted A/B baseline; ``batching=True`` turns on cross-client
+    micro-batching (see :class:`repro.gpu.BatchingConfig`).
+    """
+
+    # --- sharded map store
+    map_shards: int = 8
+    shard_region_m: float = 8.0          # spatial-hash grid cell edge
+    # --- cross-client GPU micro-batching
+    batching: bool = False
+    batch_window_ms: float = 8.0
+    batch_max: int = 24
+    dispatch_overhead_ms: float = 1.2
+    p99_budget_ms: Optional[float] = 50.0
+    batch_max_per_client: Optional[int] = None
+    # --- admission control / load shedding
+    admission: bool = True
+    queue_depth: int = 8                 # in-flight frames per client
+    stale_ms: Optional[float] = None     # shed frames older than this
+
+    def batching_config(self) -> Optional[BatchingConfig]:
+        if not self.batching:
+            return None
+        return BatchingConfig(
+            window_s=self.batch_window_ms * 1e-3,
+            max_batch=self.batch_max,
+            dispatch_overhead_s=self.dispatch_overhead_ms * 1e-3,
+            p99_budget_s=(None if self.p99_budget_ms is None
+                          else self.p99_budget_ms * 1e-3),
+            max_per_client=self.batch_max_per_client,
+        )
+
+
+@dataclass
 class SlamShareConfig:
     """Everything a multi-user session needs."""
 
@@ -71,6 +114,7 @@ class SlamShareConfig:
     # it has contributed at least this many keyframes.
     merge_min_keyframes: int = 4
     render_video_frames: bool = True    # real codec on rendered frames
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
 
 @dataclass

@@ -22,7 +22,7 @@ from ..geometry import SE3, Sim3
 from ..gpu.device import StageBreakdown, TrackingLatencyModel
 from ..imu import ImuDelta
 from ..obs import get_logger, get_metrics, get_tracer, kv
-from ..sharedmem import SharedMapStore
+from ..sharedmem import ShardedMapStore, SharedMapStore
 from ..slam import (
     KeyframeDatabase,
     MapMerger,
@@ -60,6 +60,18 @@ _parks_total = _metrics.counter(
 )
 _rejoins_total = _metrics.counter(
     "server.clients_rejoined", "parked client processes resumed on rejoin"
+)
+_load_gauge = _metrics.gauge(
+    "server.load", "in-flight frames / admission capacity (0..1)"
+)
+_shed_total = _metrics.counter(
+    "server.frames_shed", "frames shed by admission control"
+)
+_shed_stale = _metrics.counter(
+    "server.frames_shed_stale", "frames shed because they arrived stale"
+)
+_shed_overload = _metrics.counter(
+    "server.frames_shed_overload", "frames shed because the client queue was full"
 )
 
 
@@ -104,12 +116,27 @@ class SlamShareServer:
         self.vocabulary = vocabulary or default_vocabulary()
         self.global_map = SlamMap(map_id=0)
         self.global_database = KeyframeDatabase(self.vocabulary)
-        self.store = store if store is not None else SharedMapStore()
+        serving = self.config.serving
+        if store is not None:
+            self.store = store
+        elif serving.map_shards > 1:
+            self.store = ShardedMapStore(
+                n_shards=serving.map_shards,
+                region_size=serving.shard_region_m,
+            )
+        else:
+            self.store = SharedMapStore()
         self.latency_model = TrackingLatencyModel(
             self.config.cpu_model, self.config.gpu_model
         )
         self.processes: Dict[int, _ClientProcess] = {}
         self.merge_history: List[MergeResult] = []
+        # Admission control: per-client count of frames admitted but not
+        # yet completed (tracking + GPU dispatch still outstanding).
+        self._in_flight: Dict[int, int] = {}
+        self.frames_shed = 0
+        self.frames_shed_stale = 0
+        self.frames_shed_overload = 0
 
     # --------------------------------------------------------------- admin
     def add_client(self, client_id: int, gravity_map: np.ndarray) -> None:
@@ -180,6 +207,52 @@ class SlamShareServer:
         if self.config.gpu_sharing == "spatial" and self.n_clients > 0:
             return 1.0 / self.n_clients
         return 1.0
+
+    # ---------------------------------------------------------- admission
+    def load(self) -> float:
+        """In-flight frames over total admission capacity, in [0, 1]."""
+        serving = self.config.serving
+        capacity = max(1, self.n_clients * serving.queue_depth)
+        return min(1.0, sum(self._in_flight.values()) / capacity)
+
+    def try_admit(self, client_id: int, age_s: float = 0.0) -> str:
+        """Admission decision for one arriving frame.
+
+        Returns ``"ok"`` (a slot was taken — the caller must pair it
+        with :meth:`release_frame`), ``"stale"`` (the frame spent longer
+        than ``stale_ms`` in flight and tracking it would only add lag;
+        the client's IMU bridging recovers the gap), or ``"overload"``
+        (the client's bounded queue is full — graceful degradation
+        sheds the frame instead of growing an unbounded backlog).
+        """
+        serving = self.config.serving
+        if not serving.admission:
+            self._in_flight[client_id] = self._in_flight.get(client_id, 0) + 1
+            return "ok"
+        if serving.stale_ms is not None and age_s * 1e3 > serving.stale_ms:
+            self.frames_shed += 1
+            self.frames_shed_stale += 1
+            _shed_total.inc()
+            _shed_stale.inc()
+            return "stale"
+        if self._in_flight.get(client_id, 0) >= serving.queue_depth:
+            self.frames_shed += 1
+            self.frames_shed_overload += 1
+            _shed_total.inc()
+            _shed_overload.inc()
+            return "overload"
+        self._in_flight[client_id] = self._in_flight.get(client_id, 0) + 1
+        _load_gauge.set(self.load())
+        return "ok"
+
+    def release_frame(self, client_id: int) -> None:
+        """Return an admission slot once a frame's pipeline completes."""
+        count = self._in_flight.get(client_id, 0)
+        self._in_flight[client_id] = max(0, count - 1)
+        _load_gauge.set(self.load())
+
+    def in_flight(self, client_id: int) -> int:
+        return self._in_flight.get(client_id, 0)
 
     # --------------------------------------------------------------- frame
     def process_frame(
@@ -307,6 +380,21 @@ class SlamShareServer:
             process.system.retarget_to(
                 self.global_map, self.global_database, merge.transform
             )
+            # Alg. 2 rewrote the welded entities' poses/positions across
+            # several spatial regions; republish them into the store as
+            # one batch so the sharded store takes its ordered
+            # multi-shard write lock (single write lock when unsharded).
+            merged_kfs = self.global_map.keyframes_of_client(
+                process.client_id
+            )
+            merged_points = list({
+                int(pid): self.global_map.mappoints[int(pid)]
+                for kf in merged_kfs
+                for pid in kf.observed_point_ids()
+                if int(pid) in self.global_map.mappoints
+            }.values())
+            republished = self.store.publish_map(merged_kfs, merged_points)
+            _store_bytes.inc(republished)
             self.merge_history.append(merge)
             merge_ms = self.config.merge_cost.slam_share_merge_ms(
                 merge.n_keyframes_checked, merge.n_fused_points

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..datasets.registry import SyntheticDataset
 from ..geometry import SE3, Sim3, Trajectory
+from ..gpu.scheduler import GpuScheduler
 from ..imu import GRAVITY_W, ImuBuffer, ImuDelta, preintegrate, synthesize_imu
 from ..metrics.ate import absolute_trajectory_error, associate
 from ..net import SimClock, connect
@@ -53,6 +54,9 @@ _uplink_drops_total = _metrics.counter(
 )
 _gap_hist = _metrics.histogram(
     "net.gap_ms", "IMU-bridged uplink gap recovered at delivery", unit="ms"
+)
+_frames_shed_total = _metrics.counter(
+    "session.frames_shed", "delivered frames shed by admission control"
 )
 
 
@@ -116,6 +120,7 @@ class ClientOutcome:
     pose_drops: int = 0           # server poses lost on the downlink
     frames_recovered: int = 0     # deliveries that bridged a lost interval
     frames_offline: int = 0       # frames captured while disconnected
+    frames_shed: int = 0          # deliveries shed by admission control
     disconnects: int = 0
     rejoins: int = 0
     pose_rtts_ms: List[float] = field(default_factory=list)
@@ -220,6 +225,19 @@ class SlamShareSession:
         self.clock = SimClock()
         camera = self.scenarios[0].dataset.camera
         self.server = SlamShareServer(camera, self.config)
+        # One GPU dispatch queue for the whole server.  Spatial sharing
+        # is already modeled inside the latency model (gpu_share), so
+        # the scheduler's own slowdown is pinned to 1 here; its job is
+        # dispatch serialization and (optionally) cross-client
+        # micro-batching of tracking kernels.
+        n = len(self.scenarios)
+        self.scheduler = GpuScheduler(
+            self.clock, mode="spatial", n_clients=n, saturation_clients=n,
+            batching=self.config.serving.batching_config(),
+        )
+        # Stats from any prior run of a reused scheduler must not leak
+        # into this session's mean/p99 latencies.
+        self.scheduler.reset()
         self.holograms = HologramRegistry()
         self.outcomes: Dict[int, ClientOutcome] = {}
         self.merges: List[MergeEvent] = []
@@ -466,6 +484,17 @@ class SlamShareSession:
             if not state["connected"] or self.server.is_parked(scenario.client_id):
                 return  # in-flight frame landed after the disconnect
             packet: _FramePacket = message.payload
+            # Admission control: shed stale or over-queue frames before
+            # spending any tracking compute on them.  The IMU anchor is
+            # left untouched, so the next admitted frame's delta bridges
+            # the shed interval exactly like an uplink drop.
+            admit = self.server.try_admit(
+                scenario.client_id, age_s=self.clock.now - packet.captured_at
+            )
+            if admit != "ok":
+                outcome.frames_shed += 1
+                _frames_shed_total.inc()
+                return
             if packet.bridged_s > 0:
                 # This delivery's delta recovered intervals lost upstream.
                 outcome.frames_recovered += 1
@@ -500,11 +529,16 @@ class SlamShareSession:
                     result.merge.transform.rotation @ client.motion_model.gravity,
                 )
             if result.pose_cw is None:
+                self.server.release_frame(scenario.client_id)
                 return
             pose = result.pose_cw
             track_s = result.latency.total / 1e3
 
-            def send_pose() -> None:
+            def finish_frame() -> None:
+                # GPU dispatch (possibly batched with other clients'
+                # kernels) completed: free the admission slot and return
+                # the pose downstream.
+                self.server.release_frame(scenario.client_id)
                 if not state["connected"]:
                     return
                 _, server_ep = self._endpoints[scenario.client_id]
@@ -519,7 +553,9 @@ class SlamShareSession:
                     on_dropped=on_pose_dropped,
                 )
 
-            self.clock.schedule(track_s, send_pose)
+            self.scheduler.submit(
+                scenario.client_id, track_s, on_done=finish_frame
+            )
 
         return on_frame
 

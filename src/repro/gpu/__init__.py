@@ -7,9 +7,10 @@ from .device import (
     TrackingLatencyModel,
 )
 from .kernels import KernelTiming, time_fast_kernels, time_search_kernels
-from .scheduler import GpuScheduler, KernelRecord
+from .scheduler import BatchingConfig, GpuScheduler, KernelRecord
 
 __all__ = [
+    "BatchingConfig",
     "CpuCostModel",
     "GpuCostModel",
     "GpuScheduler",

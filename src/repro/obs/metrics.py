@@ -147,6 +147,16 @@ class Histogram:
             "p99": self.p99,
         }
 
+    def reset(self) -> None:
+        """Zero the histogram in place (references stay valid)."""
+        with self._lock:
+            self._buckets.clear()
+            self._zero = 0
+            self.count = 0
+            self.total = 0.0
+            self.min = math.inf
+            self.max = -math.inf
+
 
 class MetricsRegistry:
     """Process-wide named instruments plus snapshot/rendering."""
@@ -171,12 +181,7 @@ class MetricsRegistry:
                 elif isinstance(inst, Gauge):
                     inst.value = 0.0
                 elif isinstance(inst, Histogram):
-                    inst._buckets.clear()
-                    inst._zero = 0
-                    inst.count = 0
-                    inst.total = 0.0
-                    inst.min = math.inf
-                    inst.max = -math.inf
+                    inst.reset()
 
     # --------------------------------------------------------- instruments
     def _get_or_create(self, name: str, cls, **kwargs):

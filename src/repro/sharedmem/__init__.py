@@ -11,6 +11,7 @@ from .records import (
     write_mappoint_record,
 )
 from .rwlock import RWLock
+from .sharding import ShardedMapStore, spatial_shard
 from .shm_backend import SharedMemoryRegion
 
 __all__ = [
@@ -20,7 +21,9 @@ __all__ = [
     "ArenaStats",
     "DEFAULT_CAPACITY",
     "RWLock",
+    "ShardedMapStore",
     "SharedMapStore",
+    "spatial_shard",
     "SharedMemoryRegion",
     "StoreStats",
     "keyframe_record_size",

@@ -36,10 +36,15 @@ class RWLock:
         # Observability counters (used by tests and the lock benchmarks).
         self.read_acquisitions = 0
         self.write_acquisitions = 0
+        # Always-on wait accounting (nanoseconds spent blocked acquiring),
+        # so per-lock contention is measurable without global metrics —
+        # the scale-out benchmark reads these per shard.
+        self.read_wait_ns = 0
+        self.write_wait_ns = 0
 
     def acquire_read(self, timeout: float = None) -> bool:
         observe = _metrics.enabled
-        t0 = time.perf_counter_ns() if observe else 0
+        t0 = time.perf_counter_ns()
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: not self._writer_active and self._writers_waiting == 0,
@@ -49,8 +54,10 @@ class RWLock:
                 return False
             self._readers += 1
             self.read_acquisitions += 1
+            waited = time.perf_counter_ns() - t0
+            self.read_wait_ns += waited
             if observe:
-                _read_waits.record((time.perf_counter_ns() - t0) / 1e3)
+                _read_waits.record(waited / 1e3)
             return True
 
     def release_read(self) -> None:
@@ -63,7 +70,7 @@ class RWLock:
 
     def acquire_write(self, timeout: float = None) -> bool:
         observe = _metrics.enabled
-        t0 = time.perf_counter_ns() if observe else 0
+        t0 = time.perf_counter_ns()
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -75,8 +82,10 @@ class RWLock:
                     return False
                 self._writer_active = True
                 self.write_acquisitions += 1
+                waited = time.perf_counter_ns() - t0
+                self.write_wait_ns += waited
                 if observe:
-                    _write_waits.record((time.perf_counter_ns() - t0) / 1e3)
+                    _write_waits.record(waited / 1e3)
                 return True
             finally:
                 self._writers_waiting -= 1

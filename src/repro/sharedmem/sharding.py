@@ -1,0 +1,340 @@
+"""Spatially sharded shared-memory map store (scale-out serving layer).
+
+One :class:`SharedMapStore` guards the whole global map with a single
+write-preferring RW lock, which is correct but serializes every map
+publish against every reader once tens of per-client server processes
+hammer it.  :class:`ShardedMapStore` splits the map into ``n_shards``
+arenas, each with its own :class:`RWLock`, and routes every entity to a
+shard by the *spatial region* it lives in (keyframes by camera center,
+map points by position).  SLAM access is spatially local — a tracking
+process reads the region its client is looking at — so most operations
+touch exactly one shard and proceed in parallel with publishes to other
+regions.
+
+Cross-shard operations (an Alg.-2 merge rewrites entities spread over
+several regions, and a publish batch may straddle a region boundary)
+acquire every involved shard's write lock in **ascending shard order**
+before touching any payload, which makes the multi-lock acquisition
+deadlock-free regardless of how merges and publishes interleave.
+
+Shard assignment hashes the entity's grid cell (cell edge =
+``region_size`` metres) with the classic 3-D spatial hash primes, so
+the mapping is deterministic across processes and runs.  Assignment is
+*sticky*: once an entity lands in a shard, updates stay there even if
+bundle adjustment nudges its position across a cell boundary — readers
+never race a record migrating between arenas.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..obs import get_metrics, get_tracer
+from ..slam.keyframe import KeyFrame
+from ..slam.mappoint import MapPoint
+from .arena import Arena, ArenaStats
+from .mapstore import DEFAULT_CAPACITY, StoreStats
+from .records import (
+    keyframe_record_size,
+    mappoint_record_size,
+    read_keyframe_record,
+    read_mappoint_record,
+    write_keyframe_record,
+    write_mappoint_record,
+)
+from .rwlock import RWLock
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_publishes_total = _metrics.counter(
+    "sharedmem.publishes", "map-update batches published"
+)
+_publish_bytes = _metrics.counter(
+    "sharedmem.publish_bytes", "bytes written by map publishes"
+)
+_multi_shard_writes = _metrics.counter(
+    "sharedmem.multi_shard_writes", "publishes spanning more than one shard"
+)
+_shards_per_write = _metrics.histogram(
+    "sharedmem.shards_per_write", "write-locked shards per publish batch"
+)
+
+
+def spatial_shard(position, region_size: float, n_shards: int) -> int:
+    """Deterministic shard index for a 3-D position.
+
+    Grid-cell hash with the canonical spatial-hashing primes; stable
+    across interpreter runs and processes (no ``PYTHONHASHSEED``
+    dependence), which matters because every attached process must
+    agree on where a region lives.
+    """
+    inv = 1.0 / region_size
+    cx = math.floor(float(position[0]) * inv)
+    cy = math.floor(float(position[1]) * inv)
+    cz = math.floor(float(position[2]) * inv)
+    h = (cx * 73856093) ^ (cy * 19349663) ^ (cz * 83492791)
+    return (h & 0x7FFFFFFF) % n_shards
+
+
+class _Shard:
+    """One arena + lock + record index for a slice of the map."""
+
+    __slots__ = ("index", "arena", "lock", "kf_index", "mp_index",
+                 "writes", "reads")
+
+    def __init__(self, index: int, capacity: int) -> None:
+        self.index = index
+        self.arena = Arena(bytearray(capacity))
+        self.lock = RWLock()
+        self.kf_index: Dict[int, tuple] = {}
+        self.mp_index: Dict[int, tuple] = {}
+        self.writes = 0
+        self.reads = 0
+
+
+class ShardedMapStore:
+    """Region-sharded drop-in for :class:`SharedMapStore`.
+
+    Same public surface (put/get/remove, ``publish_map``, ``stats``)
+    plus shard introspection and the ordered multi-shard write
+    transaction used by merges.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 8,
+        capacity: int = DEFAULT_CAPACITY,
+        region_size: float = 8.0,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if region_size <= 0:
+            raise ValueError("region_size must be positive")
+        self.n_shards = n_shards
+        self.region_size = region_size
+        per_shard = max(capacity // n_shards, 1024)
+        self.shards: List[_Shard] = [
+            _Shard(i, per_shard) for i in range(n_shards)
+        ]
+        # Sticky routing: entity id -> shard index.  Mutated only while
+        # holding the target shard's write lock; lookups are plain dict
+        # reads (atomic under the GIL), mirroring how the unsharded
+        # store keeps its index process-local beside the shared payload.
+        self._kf_shard: Dict[int, int] = {}
+        self._mp_shard: Dict[int, int] = {}
+
+    # ----------------------------------------------------------- routing
+    def shard_of_keyframe(self, kf: KeyFrame) -> int:
+        sticky = self._kf_shard.get(kf.keyframe_id)
+        if sticky is not None:
+            return sticky
+        return spatial_shard(kf.camera_center(), self.region_size,
+                             self.n_shards)
+
+    def shard_of_mappoint(self, point: MapPoint) -> int:
+        sticky = self._mp_shard.get(point.point_id)
+        if sticky is not None:
+            return sticky
+        return spatial_shard(point.position, self.region_size, self.n_shards)
+
+    def shard_of_position(self, position) -> int:
+        return spatial_shard(position, self.region_size, self.n_shards)
+
+    # ------------------------------------------------- ordered write lock
+    @contextmanager
+    def write_transaction(self, shard_indices: Sequence[int]):
+        """Hold the write locks of ``shard_indices``, acquired in
+        ascending shard order (the global order that makes interleaved
+        multi-shard writers deadlock-free)."""
+        ordered = sorted(set(shard_indices))
+        acquired: List[_Shard] = []
+        try:
+            for idx in ordered:
+                shard = self.shards[idx]
+                if not shard.lock.acquire_write():
+                    raise RuntimeError(f"write lock timeout on shard {idx}")
+                acquired.append(shard)
+            yield ordered
+        finally:
+            for shard in reversed(acquired):
+                shard.lock.release_write()
+
+    # ------------------------------------------------------------- writes
+    def _put_keyframe_locked(self, shard: _Shard, kf: KeyFrame) -> int:
+        size = keyframe_record_size(len(kf), len(kf.bow_vector))
+        old = shard.kf_index.pop(kf.keyframe_id, None)
+        if old is not None:
+            shard.arena.free(old[0])
+        offset = shard.arena.alloc(size)
+        write_keyframe_record(shard.arena.view(offset, size), kf)
+        shard.kf_index[kf.keyframe_id] = (offset, size)
+        self._kf_shard[kf.keyframe_id] = shard.index
+        shard.writes += 1
+        return size
+
+    def _put_mappoint_locked(self, shard: _Shard, point: MapPoint) -> int:
+        size = mappoint_record_size(len(point.observations))
+        old = shard.mp_index.pop(point.point_id, None)
+        if old is not None:
+            shard.arena.free(old[0])
+        offset = shard.arena.alloc(size)
+        write_mappoint_record(shard.arena.view(offset, size), point)
+        shard.mp_index[point.point_id] = (offset, size)
+        self._mp_shard[point.point_id] = shard.index
+        shard.writes += 1
+        return size
+
+    def put_keyframe(self, kf: KeyFrame) -> int:
+        shard = self.shards[self.shard_of_keyframe(kf)]
+        with shard.lock.write():
+            self._put_keyframe_locked(shard, kf)
+        return shard.index
+
+    def put_mappoint(self, point: MapPoint) -> int:
+        shard = self.shards[self.shard_of_mappoint(point)]
+        with shard.lock.write():
+            self._put_mappoint_locked(shard, point)
+        return shard.index
+
+    def remove_keyframe(self, keyframe_id: int) -> None:
+        shard_idx = self._kf_shard.get(keyframe_id)
+        if shard_idx is None:
+            return
+        shard = self.shards[shard_idx]
+        with shard.lock.write():
+            entry = shard.kf_index.pop(keyframe_id, None)
+            if entry is not None:
+                shard.arena.free(entry[0])
+            self._kf_shard.pop(keyframe_id, None)
+
+    def remove_mappoint(self, point_id: int) -> None:
+        shard_idx = self._mp_shard.get(point_id)
+        if shard_idx is None:
+            return
+        shard = self.shards[shard_idx]
+        with shard.lock.write():
+            entry = shard.mp_index.pop(point_id, None)
+            if entry is not None:
+                shard.arena.free(entry[0])
+            self._mp_shard.pop(point_id, None)
+
+    # -------------------------------------------------------------- reads
+    def get_keyframe(self, keyframe_id: int) -> Optional[KeyFrame]:
+        shard_idx = self._kf_shard.get(keyframe_id)
+        if shard_idx is None:
+            return None
+        shard = self.shards[shard_idx]
+        with shard.lock.read():
+            entry = shard.kf_index.get(keyframe_id)
+            if entry is None:
+                return None
+            shard.reads += 1
+            return read_keyframe_record(shard.arena.view(*entry))
+
+    def get_mappoint(self, point_id: int) -> Optional[MapPoint]:
+        shard_idx = self._mp_shard.get(point_id)
+        if shard_idx is None:
+            return None
+        shard = self.shards[shard_idx]
+        with shard.lock.read():
+            entry = shard.mp_index.get(point_id)
+            if entry is None:
+                return None
+            shard.reads += 1
+            return read_mappoint_record(shard.arena.view(*entry))
+
+    def keyframe_ids(self) -> List[int]:
+        return sorted(self._kf_shard)
+
+    def mappoint_ids(self) -> List[int]:
+        return sorted(self._mp_shard)
+
+    def iter_keyframes(self) -> Iterator[KeyFrame]:
+        for kf_id in self.keyframe_ids():
+            kf = self.get_keyframe(kf_id)
+            if kf is not None:
+                yield kf
+
+    # ---------------------------------------------------------- bulk sync
+    def publish_map(self, keyframes, mappoints) -> int:
+        """Write one client's map-update batch.
+
+        Entities are grouped by destination shard; all involved shards
+        are write-locked together (ascending order) so the batch lands
+        atomically with respect to other multi-shard writers — this is
+        the same locking discipline an Alg.-2 merge uses.
+        """
+        keyframes = list(keyframes)
+        mappoints = list(mappoints)
+        by_shard: Dict[int, tuple] = {}
+        for kf in keyframes:
+            by_shard.setdefault(self.shard_of_keyframe(kf), ([], []))[0].append(kf)
+        for point in mappoints:
+            by_shard.setdefault(self.shard_of_mappoint(point), ([], []))[1].append(point)
+        if not by_shard:
+            return 0
+        total = 0
+        with _tracer.span("sharedmem.publish") as span:
+            with self.write_transaction(list(by_shard)) as ordered:
+                for idx in ordered:
+                    shard = self.shards[idx]
+                    kfs, points = by_shard[idx]
+                    for kf in kfs:
+                        total += self._put_keyframe_locked(shard, kf)
+                    for point in points:
+                        total += self._put_mappoint_locked(shard, point)
+            span.set(bytes=total, n_keyframes=len(keyframes),
+                     n_mappoints=len(mappoints), n_shards=len(by_shard))
+        if _metrics.enabled:
+            _publishes_total.inc()
+            _publish_bytes.inc(total)
+            _shards_per_write.record(len(by_shard))
+            if len(by_shard) > 1:
+                _multi_shard_writes.inc()
+        return total
+
+    # ------------------------------------------------------------- stats
+    def stats(self) -> StoreStats:
+        """Aggregate view matching :meth:`SharedMapStore.stats`."""
+        capacity = allocated = n_blocks = peak = 0
+        writes = reads = 0
+        n_kf = n_mp = 0
+        for shard in self.shards:
+            with shard.lock.read():
+                arena = shard.arena.stats()
+                capacity += arena.capacity
+                allocated += arena.allocated
+                n_blocks += arena.n_blocks
+                peak += arena.peak_allocated
+                writes += shard.writes
+                reads += shard.reads
+                n_kf += len(shard.kf_index)
+                n_mp += len(shard.mp_index)
+        return StoreStats(
+            n_keyframes=n_kf,
+            n_mappoints=n_mp,
+            arena=ArenaStats(capacity=capacity, allocated=allocated,
+                             n_blocks=n_blocks, peak_allocated=peak),
+            writes=writes,
+            reads=reads,
+        )
+
+    def shard_stats(self) -> List[Dict[str, float]]:
+        """Per-shard occupancy and lock-wait totals (for load reports)."""
+        rows = []
+        for shard in self.shards:
+            with shard.lock.read():
+                arena = shard.arena.stats()
+                rows.append({
+                    "shard": shard.index,
+                    "n_keyframes": len(shard.kf_index),
+                    "n_mappoints": len(shard.mp_index),
+                    "allocated": arena.allocated,
+                    "writes": shard.writes,
+                    "reads": shard.reads,
+                    "read_wait_ns": shard.lock.read_wait_ns,
+                    "write_wait_ns": shard.lock.write_wait_ns,
+                })
+        return rows
