@@ -1,7 +1,7 @@
 """Geometry substrate: rotation groups, rigid/similarity transforms,
 point-set alignment and timestamped trajectories."""
 
-from . import quaternion, so3
+from . import quaternion, se3_batch, so3
 from .alignment import alignment_rmse, horn_se3, ransac_umeyama, umeyama
 from .se3 import SE3, interpolate, random_se3
 from .sim3 import Sim3
@@ -18,6 +18,7 @@ __all__ = [
     "quaternion",
     "random_se3",
     "ransac_umeyama",
+    "se3_batch",
     "so3",
     "umeyama",
 ]

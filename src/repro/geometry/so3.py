@@ -70,6 +70,79 @@ def log(rotation: np.ndarray) -> np.ndarray:
     return theta / (2.0 * np.sin(theta)) * vee(rotation - rotation.T)
 
 
+def hat_batch(omega: np.ndarray) -> np.ndarray:
+    """Skew-symmetric matrices for a stack of 3-vectors: ``(n, 3) -> (n, 3, 3)``."""
+    omega = np.atleast_2d(np.asarray(omega, dtype=float))
+    out = np.zeros((len(omega), 3, 3))
+    wx, wy, wz = omega[:, 0], omega[:, 1], omega[:, 2]
+    out[:, 0, 1] = -wz
+    out[:, 0, 2] = wy
+    out[:, 1, 0] = wz
+    out[:, 1, 2] = -wx
+    out[:, 2, 0] = -wy
+    out[:, 2, 1] = wx
+    return out
+
+
+def vee_batch(matrices: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`hat_batch`: ``(n, 3, 3) -> (n, 3)``."""
+    m = np.asarray(matrices, dtype=float)
+    return np.stack([m[..., 2, 1], m[..., 0, 2], m[..., 1, 0]], axis=-1)
+
+
+def exp_batch(omega: np.ndarray) -> np.ndarray:
+    """Rodrigues' formula over a stack: ``(n, 3) -> (n, 3, 3)``.
+
+    Row ``i`` equals ``exp(omega[i])`` (same branch structure as the
+    scalar map, so the two agree to the last ulp away from branch
+    boundaries).
+    """
+    omega = np.atleast_2d(np.asarray(omega, dtype=float))
+    theta = np.linalg.norm(omega, axis=1)
+    small = theta < _EPS
+    safe = np.where(small, 1.0, theta)
+    k = hat_batch(omega / safe[:, None])
+    out = (
+        np.eye(3)
+        + np.sin(theta)[:, None, None] * k
+        + (1.0 - np.cos(theta))[:, None, None] * (k @ k)
+    )
+    if small.any():
+        out[small] = np.eye(3) + hat_batch(omega[small])
+    return out
+
+
+def log_batch(rotations: np.ndarray) -> np.ndarray:
+    """Logarithm map over a stack: ``(n, 3, 3) -> (n, 3)``.
+
+    Regular and small-angle rows are fully vectorized; the (rare)
+    near-pi rows fall back to the scalar :func:`log`, whose symmetric-
+    part axis recovery they need anyway.
+    """
+    rotations = np.asarray(rotations, dtype=float)
+    if rotations.ndim == 2:
+        rotations = rotations[None]
+    n = len(rotations)
+    trace = rotations[:, 0, 0] + rotations[:, 1, 1] + rotations[:, 2, 2]
+    cos_theta = np.clip((trace - 1.0) / 2.0, -1.0, 1.0)
+    theta = np.arccos(cos_theta)
+    small = theta < _EPS
+    near_pi = (np.pi - theta) < 1e-6
+    out = np.zeros((n, 3))
+    regular = ~small & ~near_pi
+    if regular.any():
+        asym = vee_batch(
+            rotations[regular] - np.transpose(rotations[regular], (0, 2, 1))
+        )
+        scale = theta[regular] / (2.0 * np.sin(theta[regular]))
+        out[regular] = scale[:, None] * asym
+    if small.any():
+        out[small] = vee_batch(rotations[small] - np.eye(3))
+    for idx in np.nonzero(near_pi)[0]:
+        out[idx] = log(rotations[idx])
+    return out
+
+
 def is_rotation(matrix: np.ndarray, tol: float = 1e-6) -> bool:
     """Check orthonormality and unit determinant."""
     matrix = np.asarray(matrix, dtype=float)

@@ -13,18 +13,43 @@ joint Gauss-Newton for these bipartite problems and is simple, robust
 and easily bounded — which matters because the paper's architecture
 point (§4.2.1) is precisely that BA-style serial refinement does *not*
 benefit from GPU parallelism and stays on the CPU.
+
+Two equivalent implementations of the intersection step exist:
+
+* ``backend="vectorized"`` (default) flattens every (point, observation)
+  pair into packed arrays, accumulates the per-point 3x3 normal
+  equations with segment sums (``np.bincount`` in observation order, so
+  the floating-point accumulation order matches the scalar loop), and
+  solves all points with one batched ``np.linalg.solve``;
+* ``backend="scalar"`` is the original per-point Python loop, kept as
+  the reference the equivalence suite checks the kernels against.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
+from ..geometry import se3_batch
+from ..obs import get_metrics, get_tracer
 from ..vision.camera import PinholeCamera
 from .map import SlamMap
 from .pnp import solve_pnp
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_ba_wall = _metrics.histogram(
+    "ba.wall_ms", "wall-clock time per bundle-adjustment call", unit="ms"
+)
+
+#: Default implementation for :func:`local_bundle_adjustment`.  The scalar
+#: path is the reference; flip this (or pass ``backend=``) to fall back.
+DEFAULT_BACKEND = "vectorized"
+
+_BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass
@@ -42,7 +67,8 @@ def _collect_observations(
     """point_id -> list of (keyframe_id, uv, depth) among the keyframes.
 
     ``depth`` is the measured (stereo/RGB-D) depth of the observing
-    feature, or <= 0 when unavailable.
+    feature, or <= 0 when unavailable.  Scalar reference; the vectorized
+    path uses :func:`_collect_observation_arrays`.
     """
     observations: Dict[int, List] = {}
     for kf_id in keyframe_ids:
@@ -59,11 +85,104 @@ def _collect_observations(
     return observations
 
 
+@dataclass
+class _ObsArrays:
+    """All (point, observation) pairs of a BA window, flattened.
+
+    ``seg[i]`` indexes ``point_ids``/``point_rows`` and ``kf_idx[i]``
+    indexes ``kf_ids`` for observation ``i``; observations appear in
+    window order (keyframe, then feature), which is exactly the order
+    the scalar reference accumulates them in.
+    """
+
+    kf_ids: List[int]
+    point_ids: np.ndarray     # (P,) unique map-point ids (ascending)
+    point_rows: np.ndarray    # (P,) rows into the map's packed matrices
+    seg: np.ndarray           # (M,) observation -> point index
+    kf_idx: np.ndarray        # (M,) observation -> window keyframe index
+    uv: np.ndarray            # (M, 2) observed pixels
+    depth: np.ndarray         # (M,) measured depth (<= 0 when absent)
+    counts: np.ndarray        # (P,) observations per point
+
+    @property
+    def n_obs(self) -> int:
+        return len(self.seg)
+
+
+def _collect_observation_arrays(
+    slam_map: SlamMap, keyframe_ids: List[int]
+) -> _ObsArrays:
+    """Single array pass over the window's features (no per-point dicts)."""
+    pid_parts: List[np.ndarray] = []
+    row_parts: List[np.ndarray] = []
+    kf_parts: List[np.ndarray] = []
+    uv_parts: List[np.ndarray] = []
+    depth_parts: List[np.ndarray] = []
+    for kf_i, kf_id in enumerate(keyframe_ids):
+        kf = slam_map.keyframes[kf_id]
+        sel = np.nonzero(kf.point_ids >= 0)[0]
+        if len(sel) == 0:
+            continue
+        rows = slam_map.lookup_point_rows(kf.point_ids[sel])
+        ok = rows >= 0
+        if not ok.any():
+            continue
+        sel = sel[ok]
+        pid_parts.append(kf.point_ids[sel].astype(np.int64))
+        row_parts.append(rows[ok])
+        kf_parts.append(np.full(len(sel), kf_i, dtype=np.intp))
+        uv_parts.append(np.asarray(kf.uv[sel], dtype=float))
+        depth_parts.append(np.asarray(kf.depths[sel], dtype=float))
+    if not pid_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return _ObsArrays(
+            list(keyframe_ids), empty, np.zeros(0, dtype=np.intp),
+            np.zeros(0, dtype=np.intp), np.zeros(0, dtype=np.intp),
+            np.zeros((0, 2)), np.zeros(0), np.zeros(0, dtype=np.intp),
+        )
+    pids = np.concatenate(pid_parts)
+    rows = np.concatenate(row_parts)
+    unique_pids, seg = np.unique(pids, return_inverse=True)
+    point_rows = np.zeros(len(unique_pids), dtype=np.intp)
+    point_rows[seg] = rows
+    counts = np.bincount(seg, minlength=len(unique_pids))
+    return _ObsArrays(
+        kf_ids=list(keyframe_ids),
+        point_ids=unique_pids,
+        point_rows=point_rows,
+        seg=seg.astype(np.intp),
+        kf_idx=np.concatenate(kf_parts),
+        uv=np.concatenate(uv_parts),
+        depth=np.concatenate(depth_parts),
+        counts=counts,
+    )
+
+
+def _segment_sum(values: np.ndarray, seg: np.ndarray, n: int) -> np.ndarray:
+    """Sum ``values`` rows into ``n`` segments, in input order per segment.
+
+    ``np.bincount`` accumulates sequentially over its input, so each
+    segment's partial sums are formed in exactly the order the rows
+    appear — the property that keeps the batched normal equations
+    bit-compatible with the scalar reference loop.
+    """
+    flat = values.reshape(len(values), -1)
+    out = np.empty((n, flat.shape[1]))
+    for col in range(flat.shape[1]):
+        out[:, col] = np.bincount(seg, weights=flat[:, col], minlength=n)
+    return out.reshape((n,) + values.shape[1:])
+
+
+def _window_pose_stack(slam_map: SlamMap, kf_ids: List[int]):
+    return se3_batch.pack([slam_map.keyframes[k].pose_cw for k in kf_ids])
+
+
 def _mean_reprojection_error(
     slam_map: SlamMap,
     camera: PinholeCamera,
     observations: Dict[int, List],
 ) -> float:
+    """Scalar reference for :func:`_mean_reprojection_error_vectorized`."""
     errors = []
     for pid, obs in observations.items():
         point = slam_map.mappoints[pid]
@@ -73,6 +192,22 @@ def _mean_reprojection_error(
             if valid[0]:
                 errors.append(float(np.linalg.norm(proj[0] - uv)))
     return float(np.mean(errors)) if errors else 0.0
+
+
+def _mean_reprojection_error_vectorized(
+    slam_map: SlamMap, camera: PinholeCamera, obs: _ObsArrays
+) -> float:
+    """One batched projection over every (point, observation) pair."""
+    if obs.n_obs == 0:
+        return 0.0
+    rot, trans = _window_pose_stack(slam_map, obs.kf_ids)
+    positions = slam_map.packed_positions()[obs.point_rows]
+    p_cam = se3_batch.apply(rot[obs.kf_idx], trans[obs.kf_idx], positions[obs.seg])
+    uv_hat, valid = camera.project(p_cam)
+    if not valid.any():
+        return 0.0
+    err = np.linalg.norm(uv_hat - obs.uv, axis=1)
+    return float(err[valid].mean())
 
 
 def _triangulate_point(
@@ -87,7 +222,7 @@ def _triangulate_point(
     ray when the observing baselines are short; the stereo/RGB-D depth
     residual (expressed in disparity-like pixel units so the two terms
     are commensurable) pins it down, exactly as ORB-SLAM3's stereo BA
-    edges do.
+    edges do.  Scalar reference for :func:`_refine_points_vectorized`.
     """
     point = position.copy()
     for _ in range(3):
@@ -112,14 +247,12 @@ def _triangulate_point(
             j = j_proj @ pose.rotation
             h += j.T @ j
             g += j.T @ r
-            if depth_meas > 0:
+            if depth_meas > 0 and np.isfinite(depth_meas):
                 # Depth residual in pixel-like units: d(fx/z) ~ disparity.
-                scale = camera.fx / (z * z)
                 r_d = (z - depth_meas) * camera.fx / max(depth_meas, 1e-6)
                 j_d = (camera.fx / max(depth_meas, 1e-6)) * pose.rotation[2]
                 h += np.outer(j_d, j_d)
                 g += j_d * r_d
-                del scale
         try:
             step = np.linalg.solve(h + 1e-6 * np.eye(3), -g)
         except np.linalg.LinAlgError:
@@ -130,6 +263,135 @@ def _triangulate_point(
     return point
 
 
+def _refine_points_vectorized(
+    slam_map: SlamMap,
+    camera: PinholeCamera,
+    obs: _ObsArrays,
+    min_observations: int,
+) -> None:
+    """Batched intersection: all points' normal equations at once.
+
+    Per Gauss-Newton iteration the (point, observation) residual rows —
+    reprojection plus, where measured, the depth row — are accumulated
+    into per-point 3x3 systems by segment sums and solved with a single
+    batched ``np.linalg.solve``.  Convergence/failure bookkeeping mirrors
+    the scalar loop: a point whose step drops below 1e-10 freezes, a
+    point whose system is singular reverts to its original position.
+    """
+    n_points = len(obs.point_ids)
+    if n_points == 0 or obs.n_obs == 0:
+        return
+    active = obs.counts >= min_observations
+    if not active.any():
+        return
+    rot, trans = _window_pose_stack(slam_map, obs.kf_ids)
+    rot_g = rot[obs.kf_idx]
+    trans_g = trans[obs.kf_idx]
+    positions = slam_map.packed_positions()[obs.point_rows].copy()
+    fx, fy, cx, cy = camera.fx, camera.fy, camera.cx, camera.cy
+    dep_ok = (obs.depth > 0) & np.isfinite(obs.depth)
+    inv_d = 1.0 / np.maximum(obs.depth, 1e-6)
+    frozen = ~active
+    failed = np.zeros(n_points, dtype=bool)
+    for _ in range(3):
+        live = ~frozen & ~failed
+        if not live.any():
+            break
+        m = live[obs.seg]
+        seg_m = obs.seg[m]
+        p_cam = se3_batch.apply(rot_g[m], trans_g[m], positions[seg_m])
+        x, y = p_cam[:, 0], p_cam[:, 1]
+        z = np.maximum(p_cam[:, 2], 1e-6)
+        uv_m = obs.uv[m]
+        r = np.stack(
+            [fx * x / z + cx - uv_m[:, 0], fy * y / z + cy - uv_m[:, 1]], axis=1
+        )
+        n_m = len(z)
+        j_proj = np.zeros((n_m, 2, 3))
+        j_proj[:, 0, 0] = fx / z
+        j_proj[:, 0, 2] = -fx * x / (z * z)
+        j_proj[:, 1, 1] = fy / z
+        j_proj[:, 1, 2] = -fy * y / (z * z)
+        j = j_proj @ rot_g[m]
+        h_rows = np.einsum("nki,nkj->nij", j, j)
+        g_rows = np.einsum("nki,nk->ni", j, r)
+        dm = dep_ok[m]
+        if dm.any():
+            # Depth rows are spliced in directly after their reprojection
+            # row so the segment sums accumulate in the scalar loop's
+            # order (reproj_1, depth_1, reproj_2, ...), not grouped.
+            inv_dm = inv_d[m][dm]
+            j_d = (fx * inv_dm)[:, None] * rot_g[m][dm][:, 2, :]
+            r_d = (z[dm] - obs.depth[m][dm]) * fx * inv_dm
+            h_depth = np.einsum("ni,nj->nij", j_d, j_d)
+            g_depth = j_d * r_d[:, None]
+            keys = np.concatenate(
+                [np.arange(n_m) * 2, np.nonzero(dm)[0] * 2 + 1]
+            )
+            order = np.argsort(keys, kind="stable")
+            h_entries = np.concatenate([h_rows, h_depth])[order]
+            g_entries = np.concatenate([g_rows, g_depth])[order]
+            entry_seg = np.concatenate([seg_m, seg_m[dm]])[order]
+        else:
+            h_entries, g_entries, entry_seg = h_rows, g_rows, seg_m
+        h = _segment_sum(h_entries, entry_seg, n_points)
+        g = _segment_sum(g_entries, entry_seg, n_points)
+        h += 1e-6 * np.eye(3)
+        det = np.linalg.det(h)
+        bad = ~np.isfinite(det) | (det == 0.0)
+        if bad.any():
+            h[bad] = np.eye(3)
+            failed |= bad & live
+        step = np.linalg.solve(h, -g[..., None])[..., 0]
+        update = live & ~bad
+        positions[update] += step[update]
+        frozen |= update & (np.linalg.norm(step, axis=1) < 1e-10)
+    good = active & ~failed & np.isfinite(positions).all(axis=1)
+    if good.any():
+        slam_map.set_point_positions(obs.point_ids[good], positions[good])
+
+
+def _resect_keyframes(
+    slam_map: SlamMap,
+    camera: PinholeCamera,
+    keyframe_ids: List[int],
+    fixed: Set[int],
+    vectorized: bool,
+) -> None:
+    """Refine each free keyframe pose by PnP against the current points."""
+    for kf_id in keyframe_ids:
+        if kf_id in fixed:
+            continue
+        kf = slam_map.keyframes[kf_id]
+        pids = kf.point_ids
+        mask = pids >= 0
+        if mask.sum() < 6:
+            continue
+        if vectorized:
+            sel = np.nonzero(mask)[0]
+            rows = slam_map.lookup_point_rows(pids[sel])
+            ok = rows >= 0
+            if int(ok.sum()) < 6:
+                continue
+            pts = slam_map.packed_positions()[rows[ok]]
+            uvs = np.asarray(kf.uv[sel[ok]], dtype=float)
+        else:
+            pts_list, uvs_list = [], []
+            for feat_idx in np.nonzero(mask)[0]:
+                point = slam_map.mappoints.get(int(pids[feat_idx]))
+                if point is None:
+                    continue
+                pts_list.append(point.position)
+                uvs_list.append(kf.uv[feat_idx])
+            if len(pts_list) < 6:
+                continue
+            pts = np.array(pts_list)
+            uvs = np.array(uvs_list)
+        result = solve_pnp(pts, uvs, camera, kf.pose_cw, max_iterations=5)
+        if result.n_inliers >= 6:
+            kf.pose_cw = result.pose_cw
+
+
 def local_bundle_adjustment(
     slam_map: SlamMap,
     camera: PinholeCamera,
@@ -137,69 +399,94 @@ def local_bundle_adjustment(
     fixed_keyframe_ids: Optional[Set[int]] = None,
     iterations: int = 3,
     min_observations: int = 2,
+    backend: Optional[str] = None,
 ) -> BAStats:
     """Refine the given keyframes and the points they observe.
 
     ``fixed_keyframe_ids`` are included in the error terms but their
     poses are held constant (the standard local-BA gauge anchor).
+    ``backend`` selects the batched kernels (``"vectorized"``, default)
+    or the reference per-point loops (``"scalar"``).
     """
+    backend = backend or DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}")
     keyframe_ids = [k for k in keyframe_ids if k in slam_map.keyframes]
     fixed = set(fixed_keyframe_ids or ())
     if not keyframe_ids:
         return BAStats(0, 0.0, 0.0, 0, 0)
-    observations = _collect_observations(slam_map, keyframe_ids)
-    initial_error = _mean_reprojection_error(slam_map, camera, observations)
-
-    for _ in range(iterations):
-        # Intersection: refine each point with >= min_observations views.
-        for pid, obs in observations.items():
-            if len(obs) < min_observations:
-                continue
-            point = slam_map.mappoints[pid]
-            refined = _triangulate_point(point.position, obs, slam_map, camera)
-            if refined is not None and np.isfinite(refined).all():
-                slam_map.set_point_position(pid, refined)
-        # Resection: refine each free keyframe pose.
-        for kf_id in keyframe_ids:
-            if kf_id in fixed:
-                continue
-            kf = slam_map.keyframes[kf_id]
-            pids = kf.point_ids
-            mask = pids >= 0
-            if mask.sum() < 6:
-                continue
-            pts = []
-            uvs = []
-            for feat_idx in np.nonzero(mask)[0]:
-                point = slam_map.mappoints.get(int(pids[feat_idx]))
-                if point is None:
-                    continue
-                pts.append(point.position)
-                uvs.append(kf.uv[feat_idx])
-            if len(pts) < 6:
-                continue
-            result = solve_pnp(
-                np.array(pts), np.array(uvs), camera, kf.pose_cw, max_iterations=5
+    start = time.perf_counter()
+    with _tracer.span(
+        "local_ba", n_keyframes=len(keyframe_ids), backend=backend
+    ):
+        if backend == "vectorized":
+            with _tracer.span("ba.collect"):
+                obs = _collect_observation_arrays(slam_map, keyframe_ids)
+            n_points = len(obs.point_ids)
+            initial_error = _mean_reprojection_error_vectorized(
+                slam_map, camera, obs
             )
-            if result.n_inliers >= 6:
-                kf.pose_cw = result.pose_cw
-
-    final_error = _mean_reprojection_error(slam_map, camera, observations)
+            for _ in range(iterations):
+                with _tracer.span("ba.intersection"):
+                    _refine_points_vectorized(
+                        slam_map, camera, obs, min_observations
+                    )
+                with _tracer.span("ba.resection"):
+                    _resect_keyframes(
+                        slam_map, camera, keyframe_ids, fixed, vectorized=True
+                    )
+            final_error = _mean_reprojection_error_vectorized(
+                slam_map, camera, obs
+            )
+        else:
+            with _tracer.span("ba.collect"):
+                observations = _collect_observations(slam_map, keyframe_ids)
+            n_points = len(observations)
+            initial_error = _mean_reprojection_error(
+                slam_map, camera, observations
+            )
+            for _ in range(iterations):
+                with _tracer.span("ba.intersection"):
+                    for pid, obs_list in observations.items():
+                        if len(obs_list) < min_observations:
+                            continue
+                        point = slam_map.mappoints[pid]
+                        refined = _triangulate_point(
+                            point.position, obs_list, slam_map, camera
+                        )
+                        if refined is not None and np.isfinite(refined).all():
+                            slam_map.set_point_position(pid, refined)
+                with _tracer.span("ba.resection"):
+                    _resect_keyframes(
+                        slam_map, camera, keyframe_ids, fixed, vectorized=False
+                    )
+            final_error = _mean_reprojection_error(
+                slam_map, camera, observations
+            )
+    _ba_wall.record((time.perf_counter() - start) * 1e3)
     return BAStats(
         iterations=iterations,
         initial_error_px=initial_error,
         final_error_px=final_error,
         n_keyframes=len(keyframe_ids),
-        n_points=len(observations),
+        n_points=n_points,
     )
 
 
 def global_bundle_adjustment(
-    slam_map: SlamMap, camera: PinholeCamera, iterations: int = 3
+    slam_map: SlamMap,
+    camera: PinholeCamera,
+    iterations: int = 3,
+    backend: Optional[str] = None,
 ) -> BAStats:
     """BA over the entire map, anchoring the oldest keyframe."""
     all_ids = sorted(slam_map.keyframes)
     fixed = {all_ids[0]} if all_ids else set()
     return local_bundle_adjustment(
-        slam_map, camera, all_ids, fixed_keyframe_ids=fixed, iterations=iterations
+        slam_map,
+        camera,
+        all_ids,
+        fixed_keyframe_ids=fixed,
+        iterations=iterations,
+        backend=backend,
     )

@@ -32,6 +32,7 @@ class LocalMappingConfig:
     ba_window: int = 6
     cull_found_ratio: float = 0.25
     cull_min_visible: int = 8
+    backend: str = "vectorized"  # BA kernels: "vectorized" or "scalar"
 
 
 class LocalMapper:
@@ -178,7 +179,8 @@ class LocalMapper:
         )[: self.config.ba_window - 1]
         fixed = {min(window)} if len(window) > 1 else set()
         return local_bundle_adjustment(
-            self.map, self.camera, window, fixed_keyframe_ids=fixed, iterations=2
+            self.map, self.camera, window, fixed_keyframe_ids=fixed,
+            iterations=2, backend=self.config.backend,
         )
 
     def cull_mappoints(self) -> int:

@@ -47,6 +47,7 @@ class LoopCloserConfig:
     min_correspondences: int = 12
     ransac_inlier_threshold: float = 0.3
     min_correction_m: float = 0.0       # close even tiny loops by default
+    backend: str = "vectorized"         # pose-graph kernels ("scalar" to fall back)
 
 
 class LoopCloser:
@@ -129,7 +130,9 @@ class LoopCloser:
             )
             edges = build_essential_graph(self.map, extra_edges=[edge])
             anchor = min(self.map.keyframes)
-            stats = optimize_pose_graph(self.map, edges, fixed={anchor})
+            stats = optimize_pose_graph(
+                self.map, edges, fixed={anchor}, backend=cfg.backend
+            )
             result = LoopClosureResult(
                 detected=True,
                 query_keyframe_id=keyframe.keyframe_id,

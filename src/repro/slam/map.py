@@ -156,6 +156,36 @@ class SlamMap:
         ids = [int(pid) for pid in point_ids]
         return self._packed_arrays().gather(ids)
 
+    def lookup_point_rows(self, point_ids) -> np.ndarray:
+        """Packed-matrix row for each id, ``-1`` where the point is absent.
+
+        The vectorized back-end kernels gather positions through this
+        instead of per-feature ``mappoints.get`` calls: one dict probe
+        per id, then a single fancy-index into the packed matrix.
+        """
+        pk = self._packed_arrays()
+        get = pk.row_of.get
+        ids = np.asarray(point_ids).ravel()
+        return np.fromiter(
+            (get(int(pid), -1) for pid in ids), dtype=np.intp, count=len(ids)
+        )
+
+    def set_point_positions(self, point_ids, positions: np.ndarray) -> None:
+        """Bulk :meth:`set_point_position`: one version bump for the batch.
+
+        Each row is copied out of ``positions`` so map points never alias
+        the caller's (often reused) scratch matrix.
+        """
+        positions = np.asarray(positions, dtype=float)
+        for pid, pos in zip(point_ids, positions):
+            point = self.mappoints.get(int(pid))
+            if point is None:
+                continue
+            point.position = np.array(pos, dtype=float).reshape(3)
+            if not self._packed_dirty:
+                self._packed.update_position(int(pid), point.position)
+        self._version += 1
+
     def set_point_position(self, point_id: int, position: np.ndarray) -> None:
         """Move a point, keeping the packed mirror and caches coherent.
 

@@ -70,6 +70,7 @@ class MergerConfig:
     ba_iterations: int = 2
     check_all_keyframes: bool = True   # False models vanilla ORB-SLAM3
     with_scale: bool = True            # Sim3 for mono, SE3 for stereo/inertial
+    backend: str = "vectorized"        # weld-BA kernels ("scalar" to fall back)
 
 
 class MapMerger:
@@ -240,6 +241,7 @@ class MapMerger:
                 window,
                 fixed_keyframe_ids={global_kf.keyframe_id},
                 iterations=self.config.ba_iterations,
+                backend=self.config.backend,
             )
         return MergeResult(
             success=True,

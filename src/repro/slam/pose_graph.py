@@ -3,27 +3,50 @@
 After a loop closure or a map merge, ORB-SLAM3 distributes the loop
 correction over the keyframe graph by optimizing relative-pose
 constraints (the *essential graph*: covisibility edges above a weight
-threshold plus loop edges).  We implement the standard Gauss-Newton
-pose-graph optimizer over SE(3) with the residual
+threshold plus loop edges).  We relax the standard residual
 
     r_ij = log( T_ij_measured^-1 * (T_i * T_j^-1) )
 
 where T_i are world->camera poses and T_ij_measured the relative poses
 captured when the edge was created.  Map points are then corrected by
 re-expressing them relative to their anchor keyframe.
+
+The solver is damped Jacobi relaxation: every sweep computes, for each
+free pose, the weighted average twist its neighbours' constraints
+predict for it — against the sweep-start poses — and applies all the
+updates together.  The schedule is order-independent, which is what
+makes the batched backend possible: one sweep is two pose-stack
+composes, one batched log over every edge and a pair of segment sums.
+``backend="scalar"`` runs the identical schedule with per-edge
+:class:`~repro.geometry.SE3` arithmetic and is kept as the reference the
+equivalence suite checks the batched kernels against.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..geometry import SE3
+from ..geometry import SE3, se3_batch
+from ..obs import get_metrics, get_tracer
+from .bundle_adjustment import _segment_sum
 from .map import SlamMap
 
 MIN_ESSENTIAL_WEIGHT = 20  # covisibility weight for essential-graph edges
+
+#: Default implementation for :func:`optimize_pose_graph`.
+DEFAULT_BACKEND = "vectorized"
+
+_BACKENDS = ("scalar", "vectorized")
+
+_tracer = get_tracer()
+_metrics = get_metrics()
+_pg_wall = _metrics.histogram(
+    "pose_graph.wall_ms", "wall-clock time per pose-graph optimization", unit="ms"
+)
 
 
 @dataclass
@@ -82,8 +105,16 @@ def build_essential_graph(
 
 
 def _total_residual(poses: Dict[int, SE3], edges: List[PoseGraphEdge]) -> float:
+    """Weighted squared-twist residual over the edges whose endpoints exist.
+
+    Edges naming keyframes absent from ``poses`` (e.g. an ``extra_edges``
+    loop edge referencing a culled keyframe) are skipped, matching the
+    optimization loop — they used to crash this pass with a KeyError.
+    """
     total = 0.0
     for edge in edges:
+        if edge.kf_a not in poses or edge.kf_b not in poses:
+            continue
         delta = edge.relative.inverse() * (
             poses[edge.kf_a] * poses[edge.kf_b].inverse()
         )
@@ -91,35 +122,102 @@ def _total_residual(poses: Dict[int, SE3], edges: List[PoseGraphEdge]) -> float:
     return total
 
 
-def optimize_pose_graph(
-    slam_map: SlamMap,
-    edges: List[PoseGraphEdge],
-    fixed: Optional[Set[int]] = None,
-    iterations: int = 12,
-    step_scale: float = 0.7,
-) -> PoseGraphStats:
-    """Distribute corrections over the graph by damped Gauss-Seidel.
+class _EdgeArrays:
+    """Edges of a pose graph packed for the batched sweeps."""
 
-    Each sweep updates every free pose toward the weighted average of
-    what its neighbours' constraints predict for it — the standard
-    relaxation solver for pose graphs (slower than sparse GN but
-    dependency-free and robust).  Map points follow their anchor
-    keyframe's correction.
-    """
-    fixed = set(fixed or ())
-    poses: Dict[int, SE3] = {
-        kf_id: kf.pose_cw for kf_id, kf in slam_map.keyframes.items()
-    }
-    old_poses = dict(poses)
+    def __init__(
+        self, edges: List[PoseGraphEdge], index: Dict[int, int]
+    ) -> None:
+        self.n = len(edges)
+        self.a_idx = np.fromiter(
+            (index[e.kf_a] for e in edges), dtype=np.intp, count=self.n
+        )
+        self.b_idx = np.fromiter(
+            (index[e.kf_b] for e in edges), dtype=np.intp, count=self.n
+        )
+        self.rel_rot, self.rel_trans = se3_batch.pack(
+            [e.relative for e in edges]
+        )
+        self.inv_rot, self.inv_trans = se3_batch.inverse(
+            self.rel_rot, self.rel_trans
+        )
+        self.weight = np.fromiter(
+            (e.weight for e in edges), dtype=float, count=self.n
+        )
+        # Interleaved (a, b) contribution layout: per-node accumulation
+        # order in the segment sums matches the scalar reference's
+        # edge-scan order exactly.
+        self.seg = np.empty(2 * self.n, dtype=np.intp)
+        self.seg[0::2] = self.a_idx
+        self.seg[1::2] = self.b_idx
+        self.weight2 = np.repeat(self.weight, 2)
+
+    def residual(self, rot: np.ndarray, trans: np.ndarray) -> float:
+        if self.n == 0:
+            return 0.0
+        rb_inv, tb_inv = se3_batch.inverse(rot[self.b_idx], trans[self.b_idx])
+        rab, tab = se3_batch.compose(
+            rot[self.a_idx], trans[self.a_idx], rb_inv, tb_inv
+        )
+        dr, dt = se3_batch.compose(self.inv_rot, self.inv_trans, rab, tab)
+        twists = se3_batch.log(dr, dt)
+        return float(np.sum(self.weight * np.sum(twists ** 2, axis=1)))
+
+
+def _sweeps_vectorized(
+    rot: np.ndarray,
+    trans: np.ndarray,
+    edges: _EdgeArrays,
+    free: np.ndarray,
+    iterations: int,
+    step_scale: float,
+) -> None:
+    """Run the relaxation sweeps in place on the packed pose stack."""
+    n_nodes = len(rot)
+    if edges.n == 0 or not free.any():
+        return
+    weight_sum = np.bincount(edges.seg, weights=edges.weight2, minlength=n_nodes)
+    update = free & (weight_sum > 0)
+    if not update.any():
+        return
+    twists = np.empty((2 * edges.n, 6))
+    for _ in range(iterations):
+        # Node a's prediction from each edge: rel * T_b, and node b's:
+        # rel^-1 * T_a; the residual twist is log(predicted * T_node^-1).
+        pr, pt = se3_batch.compose(
+            edges.rel_rot, edges.rel_trans, rot[edges.b_idx], trans[edges.b_idx]
+        )
+        ira, ita = se3_batch.inverse(rot[edges.a_idx], trans[edges.a_idx])
+        dra, dta = se3_batch.compose(pr, pt, ira, ita)
+        qr, qt = se3_batch.compose(
+            edges.inv_rot, edges.inv_trans, rot[edges.a_idx], trans[edges.a_idx]
+        )
+        irb, itb = se3_batch.inverse(rot[edges.b_idx], trans[edges.b_idx])
+        drb, dtb = se3_batch.compose(qr, qt, irb, itb)
+        twists[0::2] = edges.weight[:, None] * se3_batch.log(dra, dta)
+        twists[1::2] = edges.weight[:, None] * se3_batch.log(drb, dtb)
+        twist_sum = _segment_sum(twists, edges.seg, n_nodes)
+        steps = step_scale * twist_sum[update] / weight_sum[update][:, None]
+        er, et = se3_batch.exp(steps)
+        nr, nt = se3_batch.compose(er, et, rot[update], trans[update])
+        rot[update] = nr
+        trans[update] = nt
+
+
+def _optimize_scalar(
+    poses: Dict[int, SE3],
+    edges: List[PoseGraphEdge],
+    fixed: Set[int],
+    iterations: int,
+    step_scale: float,
+) -> None:
+    """Scalar reference: identical Jacobi schedule, per-edge SE3 math."""
     by_node: Dict[int, List[Tuple[PoseGraphEdge, bool]]] = {}
     for edge in edges:
-        if edge.kf_a not in poses or edge.kf_b not in poses:
-            continue
         by_node.setdefault(edge.kf_a, []).append((edge, True))
         by_node.setdefault(edge.kf_b, []).append((edge, False))
-
-    initial = _total_residual(poses, edges)
     for _ in range(iterations):
+        steps: Dict[int, np.ndarray] = {}
         for node, node_edges in by_node.items():
             if node in fixed:
                 continue
@@ -135,32 +233,120 @@ def optimize_pose_graph(
                 twist_sum += edge.weight * delta.log()
                 weight_sum += edge.weight
             if weight_sum > 0:
-                step = step_scale * twist_sum / weight_sum
-                poses[node] = SE3.exp(step) * poses[node]
-    final = _total_residual(poses, edges)
+                steps[node] = step_scale * twist_sum / weight_sum
+        for node, step in steps.items():
+            poses[node] = SE3.exp(step) * poses[node]
 
-    # Write poses back and drag each map point with its anchor keyframe.
-    corrections: Dict[int, SE3] = {}
-    for kf_id, new_pose in poses.items():
-        corrections[kf_id] = new_pose.inverse() * old_poses[kf_id]
-        slam_map.keyframes[kf_id].pose_cw = new_pose
-    for point in slam_map.mappoints.values():
-        anchor = None
-        for kf_id in point.observations:
-            if kf_id in corrections:
-                anchor = kf_id
-                break
-        if anchor is None:
-            continue
-        # x_w' = T_new^-1 * T_old * x_w keeps the point rigid w.r.t. its
-        # anchor camera.
-        point.position = corrections[anchor].apply(point.position)
-    # Bulk position edit: invalidate packed matrices and search caches.
-    slam_map.touch()
+
+def optimize_pose_graph(
+    slam_map: SlamMap,
+    edges: List[PoseGraphEdge],
+    fixed: Optional[Set[int]] = None,
+    iterations: int = 12,
+    step_scale: float = 0.7,
+    backend: Optional[str] = None,
+) -> PoseGraphStats:
+    """Distribute corrections over the graph by damped relaxation sweeps.
+
+    Each sweep moves every free pose toward the weighted average of what
+    its neighbours' constraints predict for it (see the module
+    docstring for the schedule).  Map points follow their anchor
+    keyframe's correction.  Edges naming keyframes that are not in the
+    map are skipped and excluded from the reported ``n_edges``.
+    """
+    backend = backend or DEFAULT_BACKEND
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}")
+    fixed = set(fixed or ())
+    poses: Dict[int, SE3] = {
+        kf_id: kf.pose_cw for kf_id, kf in slam_map.keyframes.items()
+    }
+    valid_edges = [
+        e for e in edges if e.kf_a in poses and e.kf_b in poses
+    ]
+    start = time.perf_counter()
+    with _tracer.span(
+        "pose_graph", n_edges=len(valid_edges), n_poses=len(poses),
+        backend=backend,
+    ):
+        if backend == "vectorized":
+            node_ids = list(poses)
+            index = {kf_id: i for i, kf_id in enumerate(node_ids)}
+            rot, trans = se3_batch.pack([poses[k] for k in node_ids])
+            old_rot, old_trans = rot.copy(), trans.copy()
+            edge_arrays = _EdgeArrays(valid_edges, index)
+            free = np.fromiter(
+                (k not in fixed for k in node_ids), dtype=bool,
+                count=len(node_ids),
+            )
+            initial = edge_arrays.residual(rot, trans)
+            with _tracer.span("pg.sweeps", iterations=iterations):
+                _sweeps_vectorized(
+                    rot, trans, edge_arrays, free, iterations, step_scale
+                )
+            final = edge_arrays.residual(rot, trans)
+            with _tracer.span("pg.anchor_correction"):
+                # Per-node correction new^-1 * old, applied to each
+                # point's anchor group via one gathered matmul.
+                ir, it = se3_batch.inverse(rot, trans)
+                corr_rot, corr_trans = se3_batch.compose(
+                    ir, it, old_rot, old_trans
+                )
+                for i, kf_id in enumerate(node_ids):
+                    slam_map.keyframes[kf_id].pose_cw = SE3(rot[i], trans[i])
+                pids: List[int] = []
+                anchor_rows: List[int] = []
+                pos_rows: List[np.ndarray] = []
+                for pid, point in slam_map.mappoints.items():
+                    for kf_id in point.observations:
+                        row = index.get(kf_id)
+                        if row is not None:
+                            pids.append(pid)
+                            anchor_rows.append(row)
+                            pos_rows.append(point.position)
+                            break
+                if pids:
+                    rows = np.asarray(anchor_rows, dtype=np.intp)
+                    new_pos = se3_batch.apply(
+                        corr_rot[rows], corr_trans[rows], np.array(pos_rows)
+                    )
+                    for pid, pos in zip(pids, new_pos):
+                        slam_map.mappoints[pid].position = np.array(
+                            pos, dtype=float
+                        )
+        else:
+            old_poses = dict(poses)
+            initial = _total_residual(poses, valid_edges)
+            with _tracer.span("pg.sweeps", iterations=iterations):
+                _optimize_scalar(
+                    poses, valid_edges, fixed, iterations, step_scale
+                )
+            final = _total_residual(poses, valid_edges)
+            with _tracer.span("pg.anchor_correction"):
+                # Write poses back and drag each map point with its
+                # anchor keyframe.
+                corrections: Dict[int, SE3] = {}
+                for kf_id, new_pose in poses.items():
+                    corrections[kf_id] = new_pose.inverse() * old_poses[kf_id]
+                    slam_map.keyframes[kf_id].pose_cw = new_pose
+                for point in slam_map.mappoints.values():
+                    anchor = None
+                    for kf_id in point.observations:
+                        if kf_id in corrections:
+                            anchor = kf_id
+                            break
+                    if anchor is None:
+                        continue
+                    # x_w' = T_new^-1 * T_old * x_w keeps the point rigid
+                    # w.r.t. its anchor camera.
+                    point.position = corrections[anchor].apply(point.position)
+        # Bulk position edit: invalidate packed matrices and search caches.
+        slam_map.touch()
+    _pg_wall.record((time.perf_counter() - start) * 1e3)
     return PoseGraphStats(
         iterations=iterations,
         initial_residual=initial,
         final_residual=final,
-        n_edges=len(edges),
+        n_edges=len(valid_edges),
         n_poses=len(poses),
     )

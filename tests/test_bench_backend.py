@@ -1,0 +1,86 @@
+"""Exercise benchmarks/bench_backend.py at tiny sizes under pytest.
+
+Keeps the back-end benchmark on the coverage run's test path: the scene
+builders, pooled timing, equivalence assertions and the regression gate
+all execute (with minimal repeats), so a refactor that breaks the
+harness fails the suite rather than only the CI smoke job.
+"""
+
+import copy
+import json
+
+import numpy as np
+
+from benchmarks.bench_backend import (
+    FLOORS,
+    build_ba_scene,
+    build_pose_graph_scene,
+    check_regression,
+    main,
+)
+from repro.slam.bundle_adjustment import local_bundle_adjustment
+from repro.slam.pose_graph import optimize_pose_graph
+
+
+def test_ba_scene_has_shared_observations():
+    slam_map, cam = build_ba_scene(n_kfs=4, n_points=60)
+    assert slam_map.n_keyframes == 4
+    counts = [p.n_observations for p in slam_map.mappoints.values()]
+    assert max(counts) >= 2  # intersection has real multi-view work
+    stats = local_bundle_adjustment(
+        slam_map, cam, list(slam_map.keyframes), fixed_keyframe_ids={0}
+    )
+    assert stats.final_error_px < stats.initial_error_px
+
+
+def test_pose_graph_scene_converges():
+    slam_map, edges, ordered = build_pose_graph_scene(n_kfs=10)
+    assert len(edges) >= len(ordered) - 1
+    stats = optimize_pose_graph(slam_map, edges, fixed={ordered[0]})
+    assert stats.final_residual < stats.initial_residual
+
+
+def test_backends_agree_on_bench_scenes():
+    slam_map, cam = build_ba_scene(n_kfs=3, n_points=40, seed=2)
+    map_s, map_v = copy.deepcopy(slam_map), copy.deepcopy(slam_map)
+    window = list(slam_map.keyframes)
+    local_bundle_adjustment(map_s, cam, window, backend="scalar")
+    local_bundle_adjustment(map_v, cam, window, backend="vectorized")
+    for pid in map_s.mappoints:
+        np.testing.assert_allclose(
+            map_s.mappoints[pid].position,
+            map_v.mappoints[pid].position,
+            atol=1e-9, rtol=0,
+        )
+
+
+def test_check_regression_gate(tmp_path):
+    baseline = {
+        "mode": "smoke",
+        "smoke_ops": {"local_ba": {"speedup": 8.0}},
+    }
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(baseline))
+    ok = {"mode": "smoke", "ops": {"local_ba": {"speedup": 7.0}}}
+    assert check_regression(ok, str(path)) == 0
+    halved = {"mode": "smoke", "ops": {"local_ba": {"speedup": 3.0}}}
+    assert check_regression(halved, str(path)) == 1
+    missing = {"mode": "smoke", "ops": {}}
+    assert check_regression(missing, str(path)) == 1
+
+
+def test_check_regression_full_mode_enforces_floors(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"mode": "full", "ops": {}}))
+    below_floor = {
+        "mode": "full",
+        "ops": {op: {"speedup": floor - 0.5} for op, floor in FLOORS.items()},
+    }
+    assert check_regression(below_floor, str(path)) == 1
+
+
+def test_main_smoke_runs(tmp_path):
+    out = tmp_path / "report.json"
+    assert main(["--smoke", "--out", str(out)]) == 0
+    report = json.loads(out.read_text())
+    assert set(FLOORS) <= set(report["ops"])
