@@ -1,0 +1,158 @@
+"""Observability-overhead gate: instrumentation must stay near-free.
+
+Runs the same multi-client session three times —
+
+* ``off``     — tracing and global metrics both disabled (the hot path
+  pays one ``enabled`` attribute check per instrumentation site);
+* ``metrics`` — global metrics on, tracing off (counters/histograms
+  record, no spans);
+* ``traced``  — frame-lifecycle tracing AND metrics on (every frame
+  opens a trace, every stage attaches spans).
+
+and compares wall-clock. A true *no-instrumentation* baseline would
+require stripping the call sites, so ``off`` — the disabled path the
+tentpole requires to stay one attribute check — is the reference.
+Timings take the best of ``--rounds`` runs per mode (same process, same
+data) to damp scheduler noise; machine-dependent absolute numbers are
+reported, the gate is on *ratios*:
+
+* ``off`` vs ``metrics``: metrics must not slow the session by more
+  than ``--tolerance`` (default 10%);
+* ``traced`` per-frame overhead vs ``off``: the added wall cost per
+  processed frame must stay under ``--frame-budget`` (default 5%) of
+  the ``off`` p50 server frame time, the ISSUE's enabled-path budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.core import ClientScenario, SlamShareSession
+from repro.datasets import euroc_dataset
+from repro.obs import get_metrics, get_tracer
+
+
+def _scenarios(duration: float):
+    rate = 10.0
+    return [
+        ClientScenario(0, euroc_dataset("MH04", duration=duration, rate=rate)),
+        ClientScenario(1, euroc_dataset("MH05", duration=duration, rate=rate),
+                       start_time=1.0, oracle_seed=9, imu_seed=13),
+        ClientScenario(2, euroc_dataset("MH04", duration=duration, rate=rate),
+                       start_time=2.0, oracle_seed=21, imu_seed=23),
+        ClientScenario(3, euroc_dataset("V202", duration=duration, rate=rate),
+                       start_time=3.0, oracle_seed=33, imu_seed=37),
+    ]
+
+
+def _run_mode(mode: str, duration: float, rounds: int) -> Dict[str, float]:
+    """Best-of-N wall time for one instrumentation mode."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    best_s = float("inf")
+    frames = 0
+    for _ in range(rounds):
+        tracer.reset()
+        metrics.reset()
+        tracer.configure(enabled=(mode == "traced"))
+        metrics.configure(enabled=(mode != "off"))
+        start = time.perf_counter()
+        result = SlamShareSession(_scenarios(duration)).run()
+        elapsed = time.perf_counter() - start
+        best_s = min(best_s, elapsed)
+        frames = sum(o.frames_processed for o in result.outcomes.values())
+    spans = len(tracer.spans)
+    tracer.configure(enabled=False)
+    metrics.configure(enabled=False)
+    entry = {
+        "wall_s": round(best_s, 4),
+        "frames": frames,
+        "per_frame_ms": round(best_s / max(frames, 1) * 1e3, 4),
+        "spans": spans,
+    }
+    print(f"  {mode:<8} best-of-{rounds} {best_s:7.2f} s  "
+          f"{entry['per_frame_ms']:8.3f} ms/frame  {spans} spans")
+    return entry
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="short traces (CI-sized)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="runs per mode; best is kept")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed metrics-on slowdown vs off (fraction)")
+    parser.add_argument("--frame-budget", type=float, default=0.05,
+                        help="allowed traced per-frame overhead vs off "
+                             "(fraction of per-frame wall time)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero when a budget is exceeded")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    duration = 3.0 if args.smoke else 8.0
+    print(f"obs-overhead ({'smoke' if args.smoke else 'full'}), "
+          f"4 clients x {duration:.0f}s:")
+    # Warm up caches/JIT-ish numpy paths once so mode order doesn't bias.
+    _run_mode("warmup", 1.0, 1)
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "modes": {
+            mode: _run_mode(mode, duration, args.rounds)
+            for mode in ("off", "metrics", "traced")
+        },
+    }
+    off = report["modes"]["off"]
+    metrics_mode = report["modes"]["metrics"]
+    traced = report["modes"]["traced"]
+    metrics_ratio = metrics_mode["wall_s"] / off["wall_s"] - 1.0
+    traced_frame_overhead = (
+        (traced["per_frame_ms"] - off["per_frame_ms"])
+        / max(off["per_frame_ms"], 1e-9)
+    )
+    report["metrics_slowdown"] = round(metrics_ratio, 4)
+    report["traced_frame_overhead"] = round(traced_frame_overhead, 4)
+    print(f"  metrics slowdown vs off: {metrics_ratio * 100:+.1f}% "
+          f"(budget {args.tolerance * 100:.0f}%)")
+    print(f"  traced per-frame overhead vs off: "
+          f"{traced_frame_overhead * 100:+.1f}% "
+          f"(budget {args.frame_budget * 100:.0f}%)")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        failures = []
+        if metrics_ratio > args.tolerance:
+            failures.append(
+                f"metrics-on slowdown {metrics_ratio * 100:.1f}% exceeds "
+                f"{args.tolerance * 100:.0f}% budget"
+            )
+        if traced_frame_overhead > args.frame_budget:
+            failures.append(
+                f"traced per-frame overhead {traced_frame_overhead * 100:.1f}%"
+                f" exceeds {args.frame_budget * 100:.0f}% budget"
+            )
+        if failures:
+            print("OBS OVERHEAD REGRESSION:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("obs-overhead check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -216,10 +216,19 @@ def bench_kernels(smoke: bool) -> Dict[str, Dict[str, object]]:
     return ops
 
 
-def bench_end_to_end(smoke: bool) -> Dict[str, object]:
-    """Wall-clock per-frame cost of a 4-client SLAM-Share session."""
+def bench_end_to_end(smoke: bool, trace_jsonl: str = None,
+                     metrics_out: str = None) -> Dict[str, object]:
+    """Wall-clock per-frame cost of a 4-client SLAM-Share session.
+
+    With ``trace_jsonl``, frame-lifecycle tracing is enabled: every
+    admitted frame must come out as a single causally-linked span tree
+    (client capture → transport → admission → GPU batch → shard lock →
+    pose return) — the run fails otherwise — and the spans are written
+    to the given JSONL path (feed it to ``repro.cli report``).
+    """
     from repro.core import ClientScenario, SlamShareSession
     from repro.datasets import euroc_dataset
+    from repro.obs import get_tracer
 
     duration = 4.0 if smoke else 12.0
     rate = 10.0
@@ -233,9 +242,14 @@ def bench_end_to_end(smoke: bool) -> Dict[str, object]:
                        start_time=3.0, oracle_seed=33, imu_seed=37),
     ]
     metrics = get_metrics()
+    tracer = get_tracer()
     was_enabled = metrics.enabled
+    trace_was_enabled = tracer.enabled
     metrics.configure(True)
     metrics.reset()
+    if trace_jsonl:
+        tracer.reset()
+        tracer.configure(enabled=True)
     wall_start = time.perf_counter()
     session = SlamShareSession(scenarios)
     result = session.run()
@@ -247,6 +261,9 @@ def bench_end_to_end(smoke: bool) -> Dict[str, object]:
         "p95_ms": round(hist.p95, 3),
         "mean_ms": round(hist.mean, 3),
     }
+    if metrics_out:
+        metrics.export_json(metrics_out)
+        print(f"  wrote metrics snapshot to {metrics_out}")
     metrics.configure(was_enabled)
     frames = sum(o.frames_processed for o in result.outcomes.values())
     entry = {
@@ -256,6 +273,29 @@ def bench_end_to_end(smoke: bool) -> Dict[str, object]:
         "session_wall_s": round(total_s, 2),
         "server_frame": frame_stats,
     }
+    if trace_jsonl:
+        from repro.obs.frames import FrameLedger
+
+        n_spans = tracer.export_jsonl(trace_jsonl)
+        ledger = FrameLedger.from_tracer(tracer)
+        complete = ledger.complete_frames()
+        linked = [f for f in complete if f.linked]
+        tracer.configure(trace_was_enabled)
+        entry["trace"] = {
+            "path": trace_jsonl,
+            "spans": n_spans,
+            "frames_traced": len(ledger),
+            "frames_complete": len(complete),
+            "frames_linked": len(linked),
+        }
+        print(f"  traced {len(ledger)} frames ({n_spans} spans) -> "
+              f"{trace_jsonl}; {len(linked)}/{len(complete)} complete "
+              f"frames causally linked")
+        if len(linked) != len(complete) or len(complete) != frames:
+            raise AssertionError(
+                f"frame tracing incomplete: {frames} processed frames, "
+                f"{len(complete)} complete traces, {len(linked)} linked"
+            )
     print("end-to-end 4-client session:")
     print(f"  frames {frames}, session wall {total_s:.1f}s, "
           f"server frame p50 {frame_stats['p50_ms']:.2f} ms "
@@ -308,6 +348,12 @@ def main(argv=None) -> int:
     parser.add_argument("--check", default=None, metavar="BASELINE",
                         help="compare speedups against a committed baseline; "
                              "exit non-zero on a >2x regression")
+    parser.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                        help="trace the end-to-end session, assert one "
+                             "causally-linked span tree per admitted frame, "
+                             "and write the spans here")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the end-to-end metrics snapshot as JSON")
     args = parser.parse_args(argv)
 
     report = {
@@ -322,7 +368,10 @@ def main(argv=None) -> int:
         print("smoke-sized reference pass (for CI --check):")
         report["smoke_ops"] = bench_kernels(True)
     if not args.skip_e2e:
-        report["end_to_end"] = bench_end_to_end(args.smoke)
+        report["end_to_end"] = bench_end_to_end(
+            args.smoke, trace_jsonl=args.trace_jsonl,
+            metrics_out=args.metrics_out,
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

@@ -5,20 +5,32 @@ Subcommands::
     python -m repro.cli session  --traces MH04 MH05 --duration 12
     python -m repro.cli baseline --traces MH04 MH05 --duration 12
     python -m repro.cli stats    --traces MH04 MH05 --duration 8
+    python -m repro.cli report   run.jsonl --html report.html
     python -m repro.cli info
 
 ``session`` runs a SLAM-Share multi-client session; ``baseline`` the
 Edge-SLAM-style comparison; ``stats`` runs a session with full
 observability on and prints the aggregated metrics/span summary;
-``info`` prints the available traces, shaping profiles and the current
-observability state.
+``report`` folds a span JSONL file into the per-frame / per-stage
+breakdown (and optionally an HTML waterfall report); ``info`` prints
+the available traces, shaping profiles and the current observability
+state.
 
 Observability flags (session/baseline/stats)::
 
     --trace out.json        write a Chrome-trace (chrome://tracing) file
     --trace-jsonl out.jsonl write one JSON span per line
+    --trace-stream          stream spans to --trace-jsonl as they close
+                            (crash-safe; atexit-flushed) instead of
+                            exporting at end of run
+    --trace-capacity N      cap the in-memory span buffer (excess spans
+                            are counted in trace.spans_dropped)
     --metrics               print a metrics snapshot after the run
     --metrics-out m.json    write the metrics snapshot as JSON
+    --metrics-prom m.prom   write Prometheus text exposition (with
+                            trace-id exemplars on histogram tails)
+    --slo                   evaluate the default SLOs live and print
+                            the burn-rate table after the run
     --log-level debug       structured logging verbosity
 """
 
@@ -62,10 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome-trace JSON file of the run")
         p.add_argument("--trace-jsonl", metavar="PATH", default=None,
                        help="write spans as JSON lines")
+        p.add_argument("--trace-stream", action="store_true",
+                       help="stream spans to --trace-jsonl as they close "
+                            "(crash-safe) instead of exporting at end")
+        p.add_argument("--trace-capacity", type=int, metavar="N", default=None,
+                       help="cap the in-memory span buffer at N spans")
         p.add_argument("--metrics", action="store_true",
                        help="collect and print runtime metrics")
         p.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write the metrics snapshot as JSON")
+        p.add_argument("--metrics-prom", metavar="PATH", default=None,
+                       help="write Prometheus text exposition")
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -83,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
             help="tc-style link shaping profile",
         )
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--slo", action="store_true",
+                       help="evaluate the default SLOs during the run and "
+                            "print the burn-rate table at the end")
         add_obs(p)
 
     session = sub.add_parser("session", help="run a SLAM-Share session")
@@ -94,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="run a session with observability on, print stats"
     )
     add_common(stats)
+    report = sub.add_parser(
+        "report", help="fold a span JSONL file into per-frame breakdowns"
+    )
+    report.add_argument("jsonl", metavar="SPANS_JSONL",
+                        help="span file written by --trace-jsonl")
+    report.add_argument("--html", metavar="PATH", default=None,
+                        help="also render an HTML waterfall report")
+    report.add_argument("--max-frames", type=int, default=40,
+                        help="waterfalls rendered in the HTML report")
+    report.add_argument("--log-level", choices=LOG_LEVELS, default="info")
     info = sub.add_parser("info", help="list traces and shaping profiles")
     add_obs(info)
     return parser
@@ -131,17 +163,26 @@ def _setup_obs(args) -> None:
         getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
     )
     want_metrics = bool(
-        getattr(args, "metrics", False) or getattr(args, "metrics_out", None)
+        getattr(args, "metrics", False)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "metrics_prom", None)
     )
     if args.command == "stats":
         want_trace = True
         want_metrics = True
     if want_trace:
         tracer.reset()
-        tracer.configure(enabled=True)
+        tracer.configure(
+            enabled=True, capacity=getattr(args, "trace_capacity", None)
+        )
         tracer.output_path = (
             getattr(args, "trace", None) or getattr(args, "trace_jsonl", None)
         )
+        if getattr(args, "trace_stream", False):
+            jsonl = getattr(args, "trace_jsonl", None)
+            if jsonl is None:
+                raise SystemExit("--trace-stream requires --trace-jsonl PATH")
+            tracer.stream_to(jsonl)
     if want_metrics:
         metrics.reset()
         metrics.configure(enabled=True)
@@ -159,20 +200,59 @@ def _finish_obs(args) -> None:
                   n, trace_path)
     jsonl_path = getattr(args, "trace_jsonl", None)
     if jsonl_path:
-        n = tracer.export_jsonl(jsonl_path)
-        _log.info("trace: wrote %d spans to %s", n, jsonl_path)
+        if tracer.stream_path == jsonl_path:
+            n = tracer.close_stream()
+            _log.info("trace: streamed %d spans to %s", n, jsonl_path)
+        else:
+            n = tracer.export_jsonl(jsonl_path)
+            _log.info("trace: wrote %d spans to %s", n, jsonl_path)
+    if tracer.dropped:
+        _log.warning("trace: %d spans dropped at capacity %d",
+                     tracer.dropped, tracer.capacity)
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
         metrics.export_json(metrics_out)
         _log.info("metrics: wrote snapshot to %s", metrics_out)
+    metrics_prom = getattr(args, "metrics_prom", None)
+    if metrics_prom:
+        metrics.export_prometheus(metrics_prom)
+        _log.info("metrics: wrote Prometheus exposition to %s", metrics_prom)
     if getattr(args, "metrics", False):
         _log.info("metrics snapshot:\n%s", metrics.render_text())
+
+
+def _attach_slo(args, session):
+    """Attach the default SLO set to a session when ``--slo`` was given."""
+    if not getattr(args, "slo", False) or not hasattr(session, "slo"):
+        return None
+    from .obs.slo import SloEngine, default_slos
+
+    engine = default_slos(SloEngine(clock=session.clock))
+    engine.subscribe(
+        lambda event: _log.warning(
+            "slo %s: %s at t=%.2f s (burn %.2f)",
+            event.kind, event.status.spec.name, event.t,
+            event.status.burn_rate,
+        )
+    )
+    session.slo = engine
+    return engine
+
+
+def _report_slo(engine) -> None:
+    if engine is None:
+        return
+    _log.info("SLO summary:\n%s", engine.render_text())
+    breaches = sum(1 for e in engine.events if e.kind == "breach")
+    if breaches:
+        _log.warning("SLO breaches during run: %d", breaches)
 
 
 # --------------------------------------------------------------- subcommands
 def cmd_session(args) -> int:
     session = SlamShareSession(_scenarios(args), _config(args),
                                ate_sample_interval=1.0)
+    slo_engine = _attach_slo(args, session)
     result = session.run()
     _log.info(f"session: {result.duration:.1f} s simulated, "
               f"{result.server.global_map.summary()}")
@@ -186,6 +266,7 @@ def cmd_session(args) -> int:
             f"tracking {np.mean(outcome.tracking_latencies_ms):.1f} ms/frame, "
             f"{outcome.frames_lost} lost"
         )
+    _report_slo(slo_engine)
     _finish_obs(args)
     return 0
 
@@ -210,6 +291,7 @@ def cmd_baseline(args) -> int:
 def cmd_stats(args) -> int:
     """Run a session with full observability and print the aggregates."""
     session = SlamShareSession(_scenarios(args), _config(args))
+    slo_engine = _attach_slo(args, session)
     result = session.run()
     tracer = get_tracer()
     metrics = get_metrics()
@@ -223,7 +305,36 @@ def cmd_stats(args) -> int:
         _log.info(f"  {name:<28} {row['count']:>7}  "
                   f"{row['wall_ms']:>10.2f} {row['sim_ms']:>10.2f}")
     _log.info("%s", metrics.render_text())
+    from .obs.frames import FrameLedger
+
+    ledger = FrameLedger.from_tracer(tracer)
+    if len(ledger):
+        _log.info("frame-lifecycle breakdown:\n%s", ledger.summary_text())
+    _report_slo(slo_engine)
     _finish_obs(args)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Fold a span JSONL file into the per-frame / per-stage report."""
+    from .obs.frames import FrameLedger
+    from .obs.report import write_report
+
+    ledger = FrameLedger.from_jsonl(args.jsonl)
+    if not len(ledger):
+        _log.warning("no frame-lifecycle traces in %s (was the run traced "
+                     "with frame tracing enabled?)", args.jsonl)
+        return 1
+    print(ledger.summary_text())
+    linked = sum(1 for f in ledger.records() if f.linked)
+    print(f"causally linked frame trees: {linked}/{len(ledger)}")
+    if args.html:
+        path = write_report(
+            ledger, args.html,
+            title=f"repro report — {args.jsonl}",
+            max_frames=args.max_frames,
+        )
+        _log.info("report: wrote %s", path)
     return 0
 
 
@@ -256,6 +367,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "session": cmd_session,
         "baseline": cmd_baseline,
         "stats": cmd_stats,
+        "report": cmd_report,
         "info": cmd_info,
     }[args.command]
     return handler(args)

@@ -22,6 +22,7 @@ from ..geometry import SE3, Sim3
 from ..gpu.device import StageBreakdown, TrackingLatencyModel
 from ..imu import ImuDelta
 from ..obs import get_logger, get_metrics, get_tracer, kv
+from ..obs.trace import TraceContext
 from ..sharedmem import ShardedMapStore, SharedMapStore
 from ..slam import (
     KeyframeDatabase,
@@ -261,8 +262,15 @@ class SlamShareServer:
         timestamp: float,
         observations: List[ObservedFeature],
         imu_delta: Optional[ImuDelta] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> ServerFrameResult:
-        """Track one uploaded frame for a client (steps 3-7 of Fig. 3)."""
+        """Track one uploaded frame for a client (steps 3-7 of Fig. 3).
+
+        ``trace_ctx`` re-anchors the frame's lifecycle trace on the
+        server side: the ``server.frame`` span (and everything nested
+        under it — tracking, the GPU stage breakdown, publishes, merge
+        rounds) joins that frame's causal tree.
+        """
         process = self.processes[client_id]
         if process.parked:
             raise RuntimeError(
@@ -270,7 +278,9 @@ class SlamShareServer:
                 "frames must not reach its process"
             )
         wall_start = time.perf_counter()
-        with _tracer.span("server.frame", client_id=client_id, t=timestamp):
+        with _tracer.child_span(
+            trace_ctx, "server.frame", client_id=client_id, t=timestamp
+        ):
             with _tracer.span("tracking", client_id=client_id) as tracking_span:
                 result = process.system.process_frame(
                     timestamp, observations, imu_delta=imu_delta
@@ -289,7 +299,10 @@ class SlamShareServer:
             _frames_total.inc()
             if not result.tracking.success:
                 _frames_lost.inc()
-            _tracking_hist.record(latency.total)
+            _tracking_hist.record(
+                latency.total,
+                trace_id=trace_ctx.trace_id if trace_ctx else None,
+            )
             if _tracer.enabled:
                 # Lay the per-stage GPU breakdown out sequentially on the
                 # sim timeline (the Fig. 5/8 stage vocabulary).  Sim time
@@ -334,7 +347,10 @@ class SlamShareServer:
                     merge_result, merge_ms = self._try_merge(process)
         # Real (wall-clock) cost of the hot path, alongside the
         # simulated latency model: this is what bench_wallclock.py reads.
-        _wall_hist.record((time.perf_counter() - wall_start) * 1e3)
+        _wall_hist.record(
+            (time.perf_counter() - wall_start) * 1e3,
+            trace_id=trace_ctx.trace_id if trace_ctx else None,
+        )
         pose = result.pose_cw
         return ServerFrameResult(
             client_id=client_id,

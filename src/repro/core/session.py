@@ -13,6 +13,17 @@ Drives N clients through their datasets on the simulated clock:
 
 The result object carries everything the evaluation section needs:
 display/server trajectories, merge events, stream stats, CPU samples.
+
+**Frame-lifecycle tracing** (when the tracer is enabled): every
+uploaded frame opens a trace at capture whose context rides the uplink
+:class:`~repro.net.transport.Message` (surviving ARQ retransmits),
+re-anchors the server-side spans (admission, tracking, GPU batch,
+shard-lock waits, merges), rides the pose message back down and is
+sealed when the client fuses the pose — or earlier, with an explicit
+terminal status (``uplink_dropped``, ``stale``/``overload`` sheds,
+``parked``, ``no_pose``, ``pose_dropped``, ``offline``).  An optional
+:class:`~repro.obs.slo.SloEngine` attached via ``session.slo`` is fed
+frame RTTs, shed indicators and live ATE samples as they happen.
 """
 
 from __future__ import annotations
@@ -245,6 +256,9 @@ class SlamShareSession:
         self._links = {}
         self._endpoints = {}
         self._per_client: Dict[int, Dict[str, Any]] = {}
+        # Optional SLO engine (repro.obs.slo): fed frame RTTs, shed
+        # indicators and ATE samples when attached; None costs nothing.
+        self.slo = None
 
     # -------------------------------------------------------------- setup
     def _setup_client(self, scenario: ClientScenario) -> Dict[str, Any]:
@@ -343,6 +357,11 @@ class SlamShareSession:
                 self.clock.schedule_at(t, self._sample_global_ate)
                 t += self.ate_sample_interval
         self.clock.run()
+        # Frames whose lifecycle never reached a terminal state (e.g. a
+        # pose still in flight when the event queue drained) are sealed
+        # so the trace has no dangling roots.
+        if _tracer.enabled:
+            _tracer.close_open_traces(status="unfinished")
         # Close CPU accounting windows.
         for client_id, state in self._per_client.items():
             state["client"].cpu.close_window(max(end_time, 1e-6))
@@ -393,6 +412,8 @@ class SlamShareSession:
         except (ValueError, np.linalg.LinAlgError):
             rmse = float("inf")
         self.live_global_ate.append((self.clock.now, rmse))
+        if self.slo is not None and np.isfinite(rmse):
+            self.slo.observe("tracking.ate_m", rmse)
 
     # ------------------------------------------------------ frame handling
     def _make_frame_handler(self, state, frame_idx: int, dataset_ts: float):
@@ -464,14 +485,23 @@ class SlamShareSession:
             bridged_s=bridged_s,
         )
 
+        # Open the frame's lifecycle trace at capture; the context rides
+        # the uplink message and is sealed wherever the frame's life
+        # ends (pose fusion, a shed, or a terminal drop).
+        ctx = _tracer.open_trace(
+            "frame.lifecycle", tid=f"client-{scenario.client_id}",
+            client_id=scenario.client_id, frame=frame_no,
+        )
+
         def on_uplink_dropped(message) -> None:
             outcome.uplink_drops += 1
             _uplink_drops_total.inc()
+            _tracer.close_trace(ctx, status="uplink_dropped")
 
         _frames_uploaded.inc()
         device_ep.send(
             "frame", upload.video_bytes, payload=packet,
-            on_dropped=on_uplink_dropped,
+            on_dropped=on_uplink_dropped, trace=ctx,
         )
 
     def _make_server_frame_handler(self, state):
@@ -481,19 +511,32 @@ class SlamShareSession:
         outcome = self.outcomes[scenario.client_id]
 
         def on_frame(message) -> None:
+            ctx = message.trace
             if not state["connected"] or self.server.is_parked(scenario.client_id):
-                return  # in-flight frame landed after the disconnect
+                # in-flight frame landed after the disconnect
+                _tracer.close_trace(ctx, status="parked")
+                return
             packet: _FramePacket = message.payload
             # Admission control: shed stale or over-queue frames before
             # spending any tracking compute on them.  The IMU anchor is
             # left untouched, so the next admitted frame's delta bridges
             # the shed interval exactly like an uplink drop.
-            admit = self.server.try_admit(
-                scenario.client_id, age_s=self.clock.now - packet.captured_at
-            )
+            with _tracer.child_span(
+                ctx, "server.admission", client_id=scenario.client_id
+            ) as admission_span:
+                admit = self.server.try_admit(
+                    scenario.client_id,
+                    age_s=self.clock.now - packet.captured_at,
+                )
+                admission_span.set(decision=admit)
+            if self.slo is not None:
+                self.slo.observe(
+                    "frames.shed_rate", 0.0 if admit == "ok" else 1.0
+                )
             if admit != "ok":
                 outcome.frames_shed += 1
                 _frames_shed_total.inc()
+                _tracer.close_trace(ctx, status=admit)
                 return
             if packet.bridged_s > 0:
                 # This delivery's delta recovered intervals lost upstream.
@@ -508,7 +551,7 @@ class SlamShareSession:
             # server tracking (GPU-accelerated, possibly shared).
             result = self.server.process_frame(
                 scenario.client_id, packet.dataset_ts, packet.observations,
-                imu_delta=packet.imu_delta,
+                imu_delta=packet.imu_delta, trace_ctx=ctx,
             )
             outcome.frames_processed += 1
             if not result.tracking_success:
@@ -530,6 +573,7 @@ class SlamShareSession:
                 )
             if result.pose_cw is None:
                 self.server.release_frame(scenario.client_id)
+                _tracer.close_trace(ctx, status="no_pose")
                 return
             pose = result.pose_cw
             track_s = result.latency.total / 1e3
@@ -540,21 +584,23 @@ class SlamShareSession:
                 # the pose downstream.
                 self.server.release_frame(scenario.client_id)
                 if not state["connected"]:
+                    _tracer.close_trace(ctx, status="offline")
                     return
                 _, server_ep = self._endpoints[scenario.client_id]
 
                 def on_pose_dropped(m) -> None:
                     outcome.pose_drops += 1
+                    _tracer.close_trace(ctx, status="pose_dropped")
 
                 server_ep.send(
                     "pose", 128,
                     payload=_PosePacket(packet.frame_no, pose,
                                         packet.captured_at),
-                    on_dropped=on_pose_dropped,
+                    on_dropped=on_pose_dropped, trace=ctx,
                 )
 
             self.scheduler.submit(
-                scenario.client_id, track_s, on_done=finish_frame
+                scenario.client_id, track_s, on_done=finish_frame, trace=ctx
             )
 
         return on_frame
@@ -566,12 +612,21 @@ class SlamShareSession:
 
         def on_pose(message) -> None:
             if not state["connected"]:
-                return  # pose landed while the radio was off
+                # pose landed while the radio was off
+                _tracer.close_trace(message.trace, status="offline")
+                return
             packet: _PosePacket = message.payload
             client.receive_server_pose(packet.frame_no, packet.pose_cw)
             rtt_ms = (self.clock.now - packet.captured_at) * 1e3
             outcome.pose_rtts_ms.append(rtt_ms)
-            _pose_rtt_hist.record(rtt_ms)
+            trace_id = message.trace.trace_id if message.trace else None
+            _pose_rtt_hist.record(rtt_ms, trace_id=trace_id)
+            _tracer.close_trace(
+                message.trace, status="complete", rtt_ms=rtt_ms
+            )
+            if self.slo is not None:
+                self.slo.observe("frame.p95_ms", rtt_ms)
+                self.slo.maybe_evaluate()
 
         return on_pose
 

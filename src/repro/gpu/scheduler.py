@@ -30,6 +30,7 @@ from typing import Dict, List, Optional
 from ..net.simclock import SimClock
 from ..obs import get_metrics, get_tracer
 from ..obs.metrics import Histogram, MetricsRegistry
+from ..obs.trace import TraceContext
 
 _tracer = get_tracer()
 _metrics = get_metrics()
@@ -91,6 +92,7 @@ class _PendingKernel:
     submitted_at: float
     duration: float
     on_done: Optional[callable] = field(default=None, compare=False)
+    trace: Optional[TraceContext] = None
 
 
 class GpuScheduler:
@@ -176,7 +178,8 @@ class GpuScheduler:
         return self._batch_size_sum / self.batches_dispatched
 
     def submit(self, client_id: int, duration_full_gpu: float,
-               on_done: Optional[callable] = None) -> Optional[KernelRecord]:
+               on_done: Optional[callable] = None,
+               trace: Optional[TraceContext] = None) -> Optional[KernelRecord]:
         """Submit a kernel that needs ``duration_full_gpu`` seconds at 100%.
 
         Spatial mode: starts immediately; below GPU saturation
@@ -188,10 +191,15 @@ class GpuScheduler:
         until the coalescing window closes; in that case ``None`` is
         returned and the :class:`KernelRecord` is created at dispatch
         (``on_done`` still fires at the kernel's finish time).
+
+        ``trace`` joins this kernel to a frame-lifecycle trace: the
+        queue wait and the (possibly batched) kernel span are recorded
+        against it, with ``batch_id`` in the span attrs.
         """
         now = self.clock.now
         if self.batching is not None:
-            return self._submit_batched(client_id, duration_full_gpu, on_done)
+            return self._submit_batched(client_id, duration_full_gpu,
+                                        on_done, trace)
         if self.mode == "spatial":
             slowdown = self._slowdown
             start = now
@@ -201,18 +209,20 @@ class GpuScheduler:
             finish = start + duration_full_gpu
             self._busy_until = finish
         record = KernelRecord(client_id, now, start, finish)
-        self._account(record)
+        self._account(record, trace)
         if on_done is not None:
             self.clock.schedule_at(finish, on_done)
         return record
 
     # -------------------------------------------------------- micro-batching
     def _submit_batched(self, client_id: int, duration: float,
-                        on_done: Optional[callable]) -> Optional[KernelRecord]:
+                        on_done: Optional[callable],
+                        trace: Optional[TraceContext] = None,
+                        ) -> Optional[KernelRecord]:
         b = self.batching
         now = self.clock.now
         if b.window_s <= 0 or b.max_batch <= 1:
-            return self._dispatch_solo(client_id, duration, on_done)
+            return self._dispatch_solo(client_id, duration, on_done, trace)
         if b.p99_budget_s is not None:
             # Fall back to an immediate solo dispatch when the GPU will
             # be free before the window closes but waiting it out would
@@ -224,9 +234,9 @@ class GpuScheduler:
                            + duration * self._slowdown)
             solo_est = gpu_free_in + overhead + duration * self._slowdown
             if batched_est > b.p99_budget_s and solo_est < batched_est:
-                return self._dispatch_solo(client_id, duration, on_done)
+                return self._dispatch_solo(client_id, duration, on_done, trace)
         self._pending.setdefault(client_id, deque()).append(
-            _PendingKernel(client_id, now, duration, on_done)
+            _PendingKernel(client_id, now, duration, on_done, trace)
         )
         self._n_pending += 1
         if self._flush_event is None:
@@ -234,7 +244,8 @@ class GpuScheduler:
         return None
 
     def _dispatch_solo(self, client_id: int, duration: float,
-                       on_done: Optional[callable]) -> KernelRecord:
+                       on_done: Optional[callable],
+                       trace: Optional[TraceContext] = None) -> KernelRecord:
         b = self.batching
         now = self.clock.now
         start = max(now, self._busy_until)
@@ -242,7 +253,7 @@ class GpuScheduler:
         self._busy_until = finish
         self.solo_dispatches += 1
         record = KernelRecord(client_id, now, start, finish)
-        self._account(record)
+        self._account(record, trace)
         if on_done is not None:
             self.clock.schedule_at(finish, on_done)
         return record
@@ -284,7 +295,7 @@ class GpuScheduler:
             record = KernelRecord(item.client_id, item.submitted_at, start,
                                   finish, batch_id=batch_id,
                                   batch_size=len(taken))
-            self._account(record)
+            self._account(record, item.trace)
             if item.on_done is not None:
                 self.clock.schedule_at(finish, item.on_done)
         if self._n_pending:
@@ -294,7 +305,8 @@ class GpuScheduler:
             next_at = max(now + b.window_s, self._busy_until)
             self._flush_event = self.clock.schedule_at(next_at, self._flush)
 
-    def _account(self, record: KernelRecord) -> None:
+    def _account(self, record: KernelRecord,
+                 trace: Optional[TraceContext] = None) -> None:
         client_id = record.client_id
         self.records.append(record)
         self._latency_sum += record.latency
@@ -306,17 +318,28 @@ class GpuScheduler:
         )
         self._latency_hist.record(record.latency)
         _kernels_total.inc()
-        _queue_delay_hist.record(record.queue_delay * 1e3)
-        _kernel_hist.record(record.latency * 1e3)
+        trace_id = trace.trace_id if trace is not None else None
+        _queue_delay_hist.record(record.queue_delay * 1e3, trace_id=trace_id)
+        _kernel_hist.record(record.latency * 1e3, trace_id=trace_id)
         if _tracer.enabled:
+            if trace is not None and record.queue_delay > 0.0:
+                _tracer.sim_event(
+                    "gpu.queue_wait", record.queue_delay * 1e3,
+                    start_s=record.submitted_at, ctx=trace,
+                    tid=f"gpu-client-{client_id}",
+                    batch_id=record.batch_id,
+                )
             _tracer.sim_event(
                 "gpu.kernel",
                 (record.finished_at - record.started_at) * 1e3,
                 start_s=record.started_at,
+                ctx=trace,
                 tid=f"gpu-client-{client_id}",
                 client_id=client_id,
                 mode=self.mode,
                 queue_delay_ms=record.queue_delay * 1e3,
+                batch_id=record.batch_id,
+                batch_size=record.batch_size,
             )
 
     def mean_latency(self, client_id: Optional[int] = None) -> float:

@@ -2,11 +2,14 @@
 
 from .link import DuplexLink, Link, LinkStats
 from .serialization import (
+    TRACE_CONTEXT_BYTES,
     deserialize_map,
     deserialize_pose,
+    deserialize_trace_context,
     map_payload_size,
     serialize_map,
     serialize_pose,
+    serialize_trace_context,
 )
 from .simclock import SimClock
 from .tc import (
@@ -51,11 +54,14 @@ __all__ = [
     "PROFILE_IDEAL",
     "ShapingProfile",
     "SimClock",
+    "TRACE_CONTEXT_BYTES",
     "connect",
     "deserialize_map",
     "deserialize_pose",
+    "deserialize_trace_context",
     "map_payload_size",
     "serialize_map",
     "serialize_pose",
+    "serialize_trace_context",
     "timed_transfer",
 ]

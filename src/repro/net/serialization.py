@@ -24,9 +24,13 @@ from ..slam.mappoint import MapPoint
 MAGIC = b"SSHM"
 VERSION = 1
 
+#: Wire cost of a trace context rider: two u64s (trace_id, span_id).
+TRACE_CONTEXT_BYTES = 16
+
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 _F64 = struct.Struct("<d")
+_TRACE_CTX = struct.Struct("<QQ")
 
 
 class _Writer:
@@ -210,6 +214,24 @@ def deserialize_map(data: bytes) -> SlamMap:
 def map_payload_size(slam_map: SlamMap) -> int:
     """Bytes on the wire for this map (serialized size)."""
     return len(serialize_map(slam_map))
+
+
+def serialize_trace_context(ctx) -> bytes:
+    """Pack a trace context rider (``TRACE_CONTEXT_BYTES`` on the wire).
+
+    Accepts anything exposing ``trace_id``/``span_id`` (normally an
+    :class:`repro.obs.TraceContext`); the frame header grows by exactly
+    this much when a message carries a trace.
+    """
+    return _TRACE_CTX.pack(ctx.trace_id, ctx.span_id)
+
+
+def deserialize_trace_context(data: bytes):
+    """Unpack a trace context rider into a live ``TraceContext``."""
+    from ..obs.trace import TraceContext
+
+    trace_id, span_id = _TRACE_CTX.unpack_from(data, 0)
+    return TraceContext(trace_id, span_id)
 
 
 def serialize_pose(pose: SE3) -> bytes:

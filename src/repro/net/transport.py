@@ -14,6 +14,13 @@ delivers typed, framed messages.  Two delivery modes exist:
   configurable retry cap) and re-sends until acknowledged or the cap
   is hit.  Duplicate copies (lost ACKs) deliver exactly once.
 
+A message may carry a frame-lifecycle trace context (``send(...,
+trace=ctx)``): the rider costs :data:`TRACE_CONTEXT_BYTES` on the wire
+and survives retransmits and receiver-side dedup because the same
+:class:`Message` object is re-sent — every delivery, retransmission and
+terminal drop is then recorded as a span/instant on that trace, so the
+per-frame waterfall shows the uplink exactly as the ARQ saw it.
+
 The data transfer times of Table 4 are measured "from when the data
 transmission starts at the sender to when the final ACK is received
 back" — the :meth:`timed_transfer` helper reproduces that definition
@@ -27,7 +34,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..obs import get_metrics, get_tracer
+from ..obs.trace import TraceContext
 from .link import DuplexLink, Link
+from .serialization import TRACE_CONTEXT_BYTES
 from .simclock import SimClock
 
 FRAME_HEADER_BYTES = 40       # type tag + length + seq + timestamps
@@ -94,10 +103,12 @@ class Message:
     reliable: bool = False
     status: str = MSG_PENDING
     attempts: int = 0
+    trace: Optional[TraceContext] = None
 
     @property
     def wire_bytes(self) -> int:
-        return self.payload_bytes + FRAME_HEADER_BYTES
+        extra = TRACE_CONTEXT_BYTES if self.trace is not None else 0
+        return self.payload_bytes + FRAME_HEADER_BYTES + extra
 
     @property
     def is_delivered(self) -> bool:
@@ -170,13 +181,16 @@ class Endpoint:
         reliable: bool = False,
         on_delivered: Optional[Callable[[Message], None]] = None,
         on_dropped: Optional[Callable[[Message], None]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Message:
         """Send a framed message to the peer endpoint.
 
         ``reliable=True`` engages ARQ (ACK + retransmission until the
         retry cap); otherwise a link drop terminally drops the message.
         ``on_delivered`` fires when the peer receives the message,
-        ``on_dropped`` when it is terminally lost.
+        ``on_dropped`` when it is terminally lost.  ``trace`` attaches
+        a frame-lifecycle trace context that rides every copy of the
+        message (costing :data:`TRACE_CONTEXT_BYTES` on the wire).
         """
         if self._peer is None or self._tx_link is None:
             raise RuntimeError(f"endpoint {self.name} is not connected")
@@ -187,6 +201,7 @@ class Endpoint:
             sent_at=self.clock.now,
             seq=next(self._next_seq),
             reliable=reliable,
+            trace=trace,
         )
         self.sent.append(message)
         if _metrics.enabled:
@@ -207,6 +222,11 @@ class Endpoint:
         if message.attempts > 1:
             self.retransmits += 1
             _retransmits.inc()
+            if _tracer.enabled and message.trace is not None:
+                _tracer.instant(
+                    f"net.retransmit.{message.msg_type}", ctx=message.trace,
+                    tid="net", seq=message.seq, attempt=message.attempts,
+                )
 
         def deliver() -> None:
             self._peer._receive(message, entry)
@@ -256,6 +276,11 @@ class Endpoint:
         message.status = MSG_DROPPED
         self.dropped.append(message)
         _endpoint_drops.inc()
+        if _tracer.enabled and message.trace is not None:
+            _tracer.instant(
+                f"net.drop.{message.msg_type}", ctx=message.trace, tid="net",
+                seq=message.seq, attempts=message.attempts,
+            )
         if entry.on_dropped is not None:
             entry.on_dropped(message)
 
@@ -275,6 +300,13 @@ class Endpoint:
         message.delivered_at = self.clock.now
         message.status = MSG_DELIVERED
         _message_latency_hist.record(message.latency * 1e3)
+        if _tracer.enabled and message.trace is not None:
+            _tracer.sim_event(
+                f"net.{message.msg_type}", message.latency * 1e3,
+                start_s=message.sent_at, ctx=message.trace, tid="net",
+                seq=message.seq, attempts=message.attempts,
+                bytes=message.wire_bytes,
+            )
         self.received.append(message)
         if entry.on_delivered is not None:
             entry.on_delivered(message)

@@ -10,6 +10,15 @@ Histograms are HDR-style: values land in geometrically spaced buckets
 (growth factor 1.1 ≈ 5 % relative resolution over any dynamic range),
 so p50/p95/p99 are O(buckets) with bounded relative error and constant
 memory — no sample retention.
+
+Two export surfaces exist: JSON snapshots (:meth:`MetricsRegistry.
+snapshot` / ``export_json``) and Prometheus text exposition
+(:meth:`MetricsRegistry.render_prometheus`), where histograms become
+cumulative ``_bucket{le=...}`` series derived from the geometric
+buckets.  Histograms optionally capture **exemplars**: a recorded value
+may carry a ``trace_id``, kept per bucket, so a p99 bucket links back
+to one concrete frame trace (rendered OpenMetrics-style as
+``# {trace_id="..."} value`` on the bucket line).
 """
 
 from __future__ import annotations
@@ -17,8 +26,9 @@ from __future__ import annotations
 import json
 import math
 import os
+import re
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_metrics",
@@ -26,6 +36,10 @@ __all__ = [
 
 _GROWTH = 1.1
 _LOG_GROWTH = math.log(_GROWTH)
+#: Max buckets carrying an exemplar per histogram; the *lowest* buckets
+#: are evicted first so tail (high-latency) exemplars survive.
+_EXEMPLAR_CAP = 64
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 class Counter:
@@ -68,7 +82,7 @@ class Histogram:
     """Geometric-bucket (HDR-style) histogram with percentile queries."""
 
     __slots__ = ("name", "help", "unit", "_reg", "_buckets", "_zero",
-                 "count", "total", "min", "max", "_lock")
+                 "count", "total", "min", "max", "_lock", "_exemplars")
 
     def __init__(self, name: str, help: str, reg: "MetricsRegistry",
                  unit: str = "") -> None:
@@ -83,8 +97,11 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self._lock = threading.Lock()
+        # bucket index -> (value, trace_id): tail samples keep their
+        # trace so a slow percentile links to a concrete frame trace.
+        self._exemplars: Dict[int, Tuple[float, Any]] = {}
 
-    def record(self, value: float) -> None:
+    def record(self, value: float, trace_id: Any = None) -> None:
         if not self._reg.enabled:
             return
         with self._lock:
@@ -99,6 +116,10 @@ class Histogram:
                 return
             index = math.floor(math.log(value) / _LOG_GROWTH)
             self._buckets[index] = self._buckets.get(index, 0) + 1
+            if trace_id is not None:
+                self._exemplars[index] = (value, trace_id)
+                if len(self._exemplars) > _EXEMPLAR_CAP:
+                    del self._exemplars[min(self._exemplars)]
 
     @property
     def mean(self) -> float:
@@ -147,6 +168,35 @@ class Histogram:
             "p99": self.p99,
         }
 
+    def exemplars(self) -> Dict[float, Any]:
+        """Captured exemplars as ``{value: trace_id}`` (ascending value)."""
+        with self._lock:
+            return {
+                value: trace_id
+                for _, (value, trace_id) in sorted(self._exemplars.items())
+            }
+
+    def exemplar_near(self, q: float) -> Optional[Any]:
+        """Trace id of an exemplar at/above quantile ``q`` (tail link).
+
+        Returns the exemplar from the lowest captured bucket whose
+        values are ≥ the quantile-``q`` bucket — i.e. the concrete trace
+        behind (or just beyond) that percentile — or the highest
+        captured exemplar when none sit above, or ``None`` when no
+        exemplar was ever captured.
+        """
+        with self._lock:
+            if not self._exemplars:
+                return None
+            value = self.percentile(q)
+            if value <= 0.0:
+                index = min(self._exemplars)
+            else:
+                index = math.floor(math.log(value) / _LOG_GROWTH)
+            at_or_above = [i for i in self._exemplars if i >= index]
+            chosen = min(at_or_above) if at_or_above else max(self._exemplars)
+            return self._exemplars[chosen][1]
+
     def reset(self) -> None:
         """Zero the histogram in place (references stay valid)."""
         with self._lock:
@@ -156,6 +206,7 @@ class Histogram:
             self.total = 0.0
             self.min = math.inf
             self.max = -math.inf
+            self._exemplars.clear()
 
 
 class MetricsRegistry:
@@ -249,12 +300,90 @@ class MetricsRegistry:
                 )
         return "\n".join(lines) if lines else "(no metrics registered)"
 
+    def render_prometheus(self, prefix: str = "repro_",
+                          exemplars: bool = True) -> str:
+        """Prometheus text exposition of every registered instrument.
+
+        Counters gain the conventional ``_total`` suffix; histograms are
+        emitted as cumulative ``_bucket{le="..."}`` series (upper edges
+        taken from the geometric HDR buckets) plus ``_sum``/``_count``.
+        With ``exemplars=True``, buckets that captured a trace-linked
+        sample append it OpenMetrics-style (``# {trace_id="..."} v``) so
+        a tail bucket points at a concrete frame trace.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        lines: List[str] = []
+        for name in sorted(instruments):
+            inst = instruments[name]
+            prom = prefix + _PROM_BAD_CHARS.sub("_", name)
+            if isinstance(inst, Counter):
+                if inst.help:
+                    lines.append(f"# HELP {prom}_total {inst.help}")
+                lines.append(f"# TYPE {prom}_total counter")
+                lines.append(f"{prom}_total {_prom_num(inst.value)}")
+            elif isinstance(inst, Gauge):
+                if inst.help:
+                    lines.append(f"# HELP {prom} {inst.help}")
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {_prom_num(inst.value)}")
+            elif isinstance(inst, Histogram):
+                lines.extend(_render_prom_histogram(prom, inst, exemplars))
+        return "\n".join(lines) + "\n"
+
+    def export_prometheus(self, path: str, prefix: str = "repro_") -> None:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render_prometheus(prefix=prefix))
+
     def export_json(self, path: str) -> None:
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.snapshot(), fh, indent=2, sort_keys=True)
+
+
+def _prom_num(value: float) -> str:
+    """Render a number the way Prometheus text format expects."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _render_prom_histogram(prom: str, hist: Histogram,
+                           exemplars: bool) -> List[str]:
+    lines: List[str] = []
+    if hist.help:
+        lines.append(f"# HELP {prom} {hist.help}")
+    lines.append(f"# TYPE {prom} histogram")
+    with hist._lock:
+        buckets = sorted(hist._buckets.items())
+        zero = hist._zero
+        count = hist.count
+        total = hist.total
+        bucket_exemplars = dict(hist._exemplars)
+    cumulative = 0
+    if zero:
+        cumulative += zero
+        lines.append(f'{prom}_bucket{{le="0"}} {cumulative}')
+    for index, n in buckets:
+        cumulative += n
+        upper = _GROWTH ** (index + 1)
+        line = f'{prom}_bucket{{le="{upper:.6g}"}} {cumulative}'
+        if exemplars and index in bucket_exemplars:
+            value, trace_id = bucket_exemplars[index]
+            line += f' # {{trace_id="{trace_id}"}} {_prom_num(float(value))}'
+        lines.append(line)
+    lines.append(f'{prom}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{prom}_sum {_prom_num(float(total))}")
+    lines.append(f"{prom}_count {count}")
+    return lines
 
 
 _METRICS = MetricsRegistry()

@@ -143,17 +143,18 @@ class SharedMapStore:
                 yield kf
 
     # ---------------------------------------------------------- bulk sync
-    def publish_map(self, keyframes, mappoints) -> int:
+    def publish_map(self, keyframes, mappoints, trace=None) -> int:
         """Write a batch of entities (one client's map update) in place.
 
         Returns the total bytes written.  This is the SLAM-Share 'map
         update' operation — contrast with the baseline, which must
         serialize the same entities, ship them and rebuild them.
+        ``trace`` joins the publish to a frame-lifecycle trace.
         """
         observe = _metrics.enabled
         t0 = time.perf_counter_ns() if observe else 0
         total = 0
-        with _tracer.span("sharedmem.publish") as span:
+        with _tracer.child_span(trace, "sharedmem.publish") as span:
             for kf in keyframes:
                 self.put_keyframe(kf)
                 total += keyframe_record_size(len(kf), len(kf.bow_vector))

@@ -144,18 +144,27 @@ class ShardedMapStore:
 
     # ------------------------------------------------- ordered write lock
     @contextmanager
-    def write_transaction(self, shard_indices: Sequence[int]):
+    def write_transaction(self, shard_indices: Sequence[int], trace=None):
         """Hold the write locks of ``shard_indices``, acquired in
         ascending shard order (the global order that makes interleaved
-        multi-shard writers deadlock-free)."""
+        multi-shard writers deadlock-free).
+
+        ``trace`` (a frame's :class:`~repro.obs.TraceContext`) attaches
+        the acquisition as a ``sharedmem.lock_wait`` wall span to that
+        frame's lifecycle, so contended shard locks show up in the
+        per-frame waterfall.
+        """
         ordered = sorted(set(shard_indices))
         acquired: List[_Shard] = []
         try:
-            for idx in ordered:
-                shard = self.shards[idx]
-                if not shard.lock.acquire_write():
-                    raise RuntimeError(f"write lock timeout on shard {idx}")
-                acquired.append(shard)
+            with _tracer.child_span(
+                trace, "sharedmem.lock_wait", n_shards=len(ordered)
+            ):
+                for idx in ordered:
+                    shard = self.shards[idx]
+                    if not shard.lock.acquire_write():
+                        raise RuntimeError(f"write lock timeout on shard {idx}")
+                    acquired.append(shard)
             yield ordered
         finally:
             for shard in reversed(acquired):
@@ -258,13 +267,15 @@ class ShardedMapStore:
                 yield kf
 
     # ---------------------------------------------------------- bulk sync
-    def publish_map(self, keyframes, mappoints) -> int:
+    def publish_map(self, keyframes, mappoints, trace=None) -> int:
         """Write one client's map-update batch.
 
         Entities are grouped by destination shard; all involved shards
         are write-locked together (ascending order) so the batch lands
         atomically with respect to other multi-shard writers — this is
-        the same locking discipline an Alg.-2 merge uses.
+        the same locking discipline an Alg.-2 merge uses.  ``trace``
+        joins the publish (and its nested lock wait) to a frame's
+        lifecycle trace.
         """
         keyframes = list(keyframes)
         mappoints = list(mappoints)
@@ -276,7 +287,7 @@ class ShardedMapStore:
         if not by_shard:
             return 0
         total = 0
-        with _tracer.span("sharedmem.publish") as span:
+        with _tracer.child_span(trace, "sharedmem.publish") as span:
             with self.write_transaction(list(by_shard)) as ordered:
                 for idx in ordered:
                     shard = self.shards[idx]
