@@ -13,6 +13,9 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke       # CI-sized
     PYTHONPATH=src python benchmarks/bench_wallclock.py --smoke \
         --check BENCH_PR2.json                                        # regression gate
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --procs 4 \
+        --skip-e2e                                                    # GIL-free
+        # multi-process serving vs the same workers as threads
 
 The regression gate compares *speedups* (fast vs naive, measured in
 the same process) rather than absolute milliseconds, so it is stable
@@ -303,6 +306,51 @@ def bench_end_to_end(smoke: bool, trace_jsonl: str = None,
     return entry
 
 
+def bench_procs(n_procs: int, smoke: bool) -> Dict[str, object]:
+    """Wall-clock multi-process serving: N workers on one shm segment.
+
+    The same real tracking workload (projection search + Hamming
+    matching against the packed shared map) runs once with N threads of
+    this interpreter and once with N attached OS processes; the spread
+    between the two aggregate throughputs is what the GIL costs.
+    """
+    from repro.core.orchestrator import (
+        ServingOrchestrator,
+        ServingWorkloadConfig,
+    )
+
+    if smoke:
+        cfg = ServingWorkloadConfig(
+            n_points=1200, n_frames=40, features_per_frame=96,
+            reloc_candidates=120, pack_capacity=8192,
+            shard_slab_bytes=1024 * 1024, publish_every=8, merge_every=20,
+        )
+    else:
+        cfg = ServingWorkloadConfig()
+    print(f"multi-process serving ({n_procs} workers, "
+          f"{cfg.n_frames} frames each):")
+    out: Dict[str, object] = {
+        "detail": f"{n_procs} workers x {cfg.n_frames} frames, "
+                  "one OS shared-memory segment",
+        "n_procs": n_procs,
+    }
+    for mode in ("thread", "process"):
+        rep = ServingOrchestrator(n_procs, cfg, mode=mode).run()
+        out[mode] = {
+            "frames": rep.frames,
+            "wall_s": round(rep.wall_s, 3),
+            "throughput_fps": round(rep.throughput_fps, 2),
+            "matches": rep.matches,
+        }
+        print(f"  {mode:<8} {rep.frames} frames in {rep.wall_s:6.2f}s  "
+              f"{rep.throughput_fps:8.1f} fps aggregate")
+    t_fps = out["thread"]["throughput_fps"]
+    out["speedup"] = (round(out["process"]["throughput_fps"] / t_fps, 2)
+                      if t_fps > 0 else 0.0)
+    print(f"  speedup {out['speedup']:.2f}x (process vs GIL-bound threads)")
+    return out
+
+
 def check_regression(report: Dict, baseline_path: str) -> int:
     """Fail (non-zero) if any kernel speedup halved vs the baseline.
 
@@ -354,6 +402,9 @@ def main(argv=None) -> int:
                              "and write the spans here")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the end-to-end metrics snapshot as JSON")
+    parser.add_argument("--procs", type=int, default=None, metavar="N",
+                        help="also time N-worker multi-process serving on one "
+                             "OS shared-memory segment (thread vs process)")
     args = parser.parse_args(argv)
 
     report = {
@@ -372,6 +423,8 @@ def main(argv=None) -> int:
             args.smoke, trace_jsonl=args.trace_jsonl,
             metrics_out=args.metrics_out,
         )
+    if args.procs:
+        report["procs"] = bench_procs(args.procs, args.smoke)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

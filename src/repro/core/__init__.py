@@ -13,7 +13,13 @@ from .config import (
     ServingConfig,
     SlamShareConfig,
 )
-from .orchestrator import Orchestrator, OrchestratorConfig
+from .orchestrator import (
+    Orchestrator,
+    OrchestratorConfig,
+    ServingOrchestrator,
+    ServingReport,
+    ServingWorkloadConfig,
+)
 from .holograms import (
     Hologram,
     HologramRegistry,
@@ -45,6 +51,9 @@ __all__ = [
     "OrchestratorConfig",
     "ServerFrameResult",
     "ServingConfig",
+    "ServingOrchestrator",
+    "ServingReport",
+    "ServingWorkloadConfig",
     "SessionResult",
     "SlamShareClient",
     "SlamShareConfig",

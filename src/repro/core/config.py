@@ -65,6 +65,14 @@ class ServingConfig:
     # --- sharded map store
     map_shards: int = 8
     shard_region_m: float = 8.0          # spatial-hash grid cell edge
+    # --- store backend: "local" keeps the in-process bytearray arena
+    # (default; byte-identical to the pre-PR7 behavior), "shm" places
+    # the store in a named OS shared-memory segment that real worker
+    # processes can attach (repro.sharedmem.ShmShardedMapStore).
+    store_backend: str = "local"
+    shm_pack_capacity: int = 65536       # packed map-matrix rows
+    shm_slab_bytes: int = 4 * 1024 * 1024  # per-shard record-log slab
+    shm_lock_timeout_s: float = 30.0     # cross-process lock deadline
     # --- cross-client GPU micro-batching
     batching: bool = False
     batch_window_ms: float = 8.0

@@ -23,7 +23,7 @@ from ..gpu.device import StageBreakdown, TrackingLatencyModel
 from ..imu import ImuDelta
 from ..obs import get_logger, get_metrics, get_tracer, kv
 from ..obs.trace import TraceContext
-from ..sharedmem import ShardedMapStore, SharedMapStore
+from ..sharedmem import ShardedMapStore, SharedMapStore, ShmShardedMapStore
 from ..slam import (
     KeyframeDatabase,
     MapMerger,
@@ -118,8 +118,18 @@ class SlamShareServer:
         self.global_map = SlamMap(map_id=0)
         self.global_database = KeyframeDatabase(self.vocabulary)
         serving = self.config.serving
+        self._owns_store = store is None and serving.store_backend == "shm"
         if store is not None:
             self.store = store
+        elif serving.store_backend == "shm":
+            # Real OS shared memory: one named segment workers can attach.
+            self.store = ShmShardedMapStore.create(
+                n_shards=max(1, serving.map_shards),
+                pack_capacity=serving.shm_pack_capacity,
+                shard_slab_bytes=serving.shm_slab_bytes,
+                region_size=serving.shard_region_m,
+                lock_timeout_s=serving.shm_lock_timeout_s,
+            )
         elif serving.map_shards > 1:
             self.store = ShardedMapStore(
                 n_shards=serving.map_shards,
@@ -140,6 +150,18 @@ class SlamShareServer:
         self.frames_shed_overload = 0
 
     # --------------------------------------------------------------- admin
+    def shutdown(self) -> None:
+        """Release the map store if this server owns an OS shm segment.
+
+        The default in-process backends have no OS resources, so this is
+        a no-op for them; for ``store_backend="shm"`` it detaches and
+        destroys the named segment.  Idempotent.
+        """
+        if self._owns_store and isinstance(self.store, ShmShardedMapStore):
+            self._owns_store = False
+            self.store.close()
+            self.store.unlink()
+
     def add_client(self, client_id: int, gravity_map: np.ndarray) -> None:
         """Register a client; allocates its server-side SLAM process."""
         if client_id in self.processes:

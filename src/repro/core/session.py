@@ -677,3 +677,19 @@ class SlamShareSession:
     # ------------------------------------------------------------- extras
     def place_hologram(self, client_id: int, position, timestamp: float):
         return self.holograms.place(position, client_id, timestamp)
+
+    def close(self) -> None:
+        """Release server-owned OS resources (the shm map segment).
+
+        A no-op for the default in-process store backend, so existing
+        callers that never close remain correct; sessions configured
+        with ``serving.store_backend="shm"`` should call this (or use
+        the session as a context manager) once results are consumed.
+        """
+        self.server.shutdown()
+
+    def __enter__(self) -> "SlamShareSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

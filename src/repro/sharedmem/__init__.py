@@ -10,9 +10,16 @@ from .records import (
     write_keyframe_record,
     write_mappoint_record,
 )
+from .prwlock import ProcessRWLock
 from .rwlock import RWLock
 from .sharding import ShardedMapStore, spatial_shard
 from .shm_backend import SharedMemoryRegion
+from .shm_store import (
+    SharedMapPack,
+    ShmMapLayout,
+    ShmShardedMapStore,
+    ShmStoreHandle,
+)
 
 __all__ = [
     "ALIGNMENT",
@@ -20,9 +27,14 @@ __all__ = [
     "ArenaError",
     "ArenaStats",
     "DEFAULT_CAPACITY",
+    "ProcessRWLock",
     "RWLock",
     "ShardedMapStore",
+    "SharedMapPack",
     "SharedMapStore",
+    "ShmMapLayout",
+    "ShmShardedMapStore",
+    "ShmStoreHandle",
     "spatial_shard",
     "SharedMemoryRegion",
     "StoreStats",

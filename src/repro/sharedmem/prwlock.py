@@ -1,0 +1,227 @@
+"""Cross-process readers-writer lock over a shared lock word.
+
+:class:`~repro.sharedmem.rwlock.RWLock` coordinates *threads* of one
+Python process; the paper's per-client server processes need the same
+write-preferring discipline **across OS processes** (Boost named
+upgradable mutexes, §4.3.2).  :class:`ProcessRWLock` keeps its state —
+the lock word — inside the shared-memory segment it guards:
+
+    offset +0   u32  readers           active read holders
+    offset +4   u32  writer_active     0/1
+    offset +8   u32  writers_waiting   writers queued (write preference)
+    offset +12  u32  reserved
+
+The lock word is only ever mutated under a ``multiprocessing.Condition``
+(one per lock, shared with workers at spawn time), so plain u32 stores
+suffice — no atomic CAS is needed from Python.  Blocked acquirers sleep
+on the condition and are woken by ``notify_all`` from releasers in any
+attached process.
+
+Wait accounting (``read_wait_ns`` / ``write_wait_ns`` and acquisition
+counts) is **process-local**: every worker accumulates its own waits
+and ships :meth:`metrics_snapshot` back to the orchestrator, which
+folds them with :meth:`fold_metrics` at join — see
+``repro.core.orchestrator.ServingOrchestrator``.
+
+Pickling: the condition travels to child processes through ``Process``
+args (spawn or fork); the lock word view cannot be pickled, so an
+unpickled lock must be re-bound to the attached segment with
+:meth:`bind` before use — the store attach helpers do this.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from array import array
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+LOCK_STATE_BYTES = 16
+
+_READERS = 0
+_WRITER_ACTIVE = 1
+_WRITERS_WAITING = 2
+
+
+class ProcessRWLock:
+    """Write-preferring readers-writer lock usable across processes."""
+
+    def __init__(self, ctx=None, default_timeout: Optional[float] = None) -> None:
+        ctx = ctx if ctx is not None else mp.get_context()
+        self._cond = ctx.Condition()
+        # Unbound fallback state (single-process use / before bind()).
+        self._state = array("I", [0, 0, 0, 0])
+        self._offset = 0
+        self._bound = False
+        self.default_timeout = default_timeout
+        self._reset_metrics()
+
+    def _reset_metrics(self) -> None:
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+        self.read_wait_ns = 0
+        self.write_wait_ns = 0
+
+    # -------------------------------------------------------------- binding
+    def bind(self, buffer, offset: int = 0) -> "ProcessRWLock":
+        """Point the lock word at ``buffer[offset:offset+16]``.
+
+        ``buffer`` is the shared segment's memoryview; every process
+        that attaches the segment binds to the same offset and therefore
+        shares the same lock word.  The creating process should bind
+        once right after allocating the segment (the segment arrives
+        zero-filled, which is the unlocked state).
+        """
+        view = memoryview(buffer)[offset : offset + LOCK_STATE_BYTES]
+        self._state = view.cast("I")
+        self._offset = offset
+        self._bound = True
+        return self
+
+    def unbind(self) -> None:
+        """Drop the segment view (before closing the region)."""
+        if self._bound:
+            self._state = array("I", [0, 0, 0, 0])
+            self._bound = False
+
+    def clone(self) -> "ProcessRWLock":
+        """A new handle on the *same* lock: shared condition and (once
+        bound) shared lock word, but its own segment view and its own
+        wait accounting.  Thread-mode workers attach through clones so
+        one worker's ``unbind``/``close`` cannot yank the view out from
+        under its siblings, and per-worker metrics stay separable."""
+        twin = object.__new__(ProcessRWLock)
+        twin._cond = self._cond
+        twin._state = array("I", [0, 0, 0, 0])
+        twin._offset = self._offset
+        twin._bound = False
+        twin.default_timeout = self.default_timeout
+        twin._reset_metrics()
+        return twin
+
+    def __getstate__(self):
+        return {
+            "cond": self._cond,
+            "offset": self._offset,
+            "bound": self._bound,
+            "default_timeout": self.default_timeout,
+        }
+
+    def __setstate__(self, state) -> None:
+        self._cond = state["cond"]
+        self._offset = state["offset"]
+        self._state = array("I", [0, 0, 0, 0])
+        # The pickled view is gone; the attacher must bind() again.
+        self._bound = False
+        self._needs_bind = state["bound"]
+        self.default_timeout = state["default_timeout"]
+        self._reset_metrics()
+
+    # ------------------------------------------------------------ acquire
+    def acquire_read(self, timeout: Optional[float] = None) -> bool:
+        if timeout is None:
+            timeout = self.default_timeout
+        state = self._state
+        t0 = time.perf_counter_ns()
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: not state[_WRITER_ACTIVE]
+                and state[_WRITERS_WAITING] == 0,
+                timeout=timeout,
+            )
+            if not ok:
+                return False
+            state[_READERS] += 1
+            self.read_acquisitions += 1
+            self.read_wait_ns += time.perf_counter_ns() - t0
+            return True
+
+    def release_read(self) -> None:
+        state = self._state
+        with self._cond:
+            if state[_READERS] == 0:
+                raise RuntimeError("release_read without acquire_read")
+            state[_READERS] -= 1
+            if state[_READERS] == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        if timeout is None:
+            timeout = self.default_timeout
+        state = self._state
+        t0 = time.perf_counter_ns()
+        with self._cond:
+            state[_WRITERS_WAITING] += 1
+            ok = False
+            try:
+                ok = self._cond.wait_for(
+                    lambda: not state[_WRITER_ACTIVE]
+                    and state[_READERS] == 0,
+                    timeout=timeout,
+                )
+                if not ok:
+                    return False
+                state[_WRITER_ACTIVE] = 1
+                self.write_acquisitions += 1
+                self.write_wait_ns += time.perf_counter_ns() - t0
+                return True
+            finally:
+                state[_WRITERS_WAITING] -= 1
+                if not ok:
+                    # A timed-out writer must wake readers it was gating.
+                    self._cond.notify_all()
+
+    def release_write(self) -> None:
+        state = self._state
+        with self._cond:
+            if not state[_WRITER_ACTIVE]:
+                raise RuntimeError("release_write without acquire_write")
+            state[_WRITER_ACTIVE] = 0
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        if not self.acquire_read():
+            raise RuntimeError("read lock timeout")
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        if not self.acquire_write():
+            raise RuntimeError("write lock timeout")
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # ---------------------------------------------------------- inspection
+    @property
+    def active_readers(self) -> int:
+        return self._state[_READERS]
+
+    @property
+    def writer_active(self) -> bool:
+        return bool(self._state[_WRITER_ACTIVE])
+
+    # ------------------------------------------------------------- metrics
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """This process's wait totals (ship to the orchestrator at join)."""
+        return {
+            "read_acquisitions": self.read_acquisitions,
+            "write_acquisitions": self.write_acquisitions,
+            "read_wait_ns": self.read_wait_ns,
+            "write_wait_ns": self.write_wait_ns,
+        }
+
+    def fold_metrics(self, snapshot: Dict[str, int]) -> None:
+        """Fold a worker's :meth:`metrics_snapshot` into this process's
+        totals, so cross-process waits aggregate instead of being lost
+        with the worker."""
+        self.read_acquisitions += snapshot.get("read_acquisitions", 0)
+        self.write_acquisitions += snapshot.get("write_acquisitions", 0)
+        self.read_wait_ns += snapshot.get("read_wait_ns", 0)
+        self.write_wait_ns += snapshot.get("write_wait_ns", 0)

@@ -3,9 +3,18 @@
 SLAM-Share mediates shared-memory access with Boost's named upgradable
 mutexes so that "concurrent reads of shared data by threads of multiple
 processes" proceed in parallel "while restricting writes to be
-serialized" (§4.3.2).  This is the same discipline for Python threads:
-many concurrent readers, exclusive writers, writer preference to avoid
-writer starvation.
+serialized" (§4.3.2).  This class implements that discipline for the
+**threads of one process** only: many concurrent readers, exclusive
+writers, writer preference to avoid writer starvation.  For genuine
+cross-process coordination use
+:class:`repro.sharedmem.prwlock.ProcessRWLock`, which keeps its lock
+word inside the shared segment and exposes the same surface.
+
+Wait accounting (``read_wait_ns``/``write_wait_ns``) is local to the
+recording process.  When lock holders live in worker processes, each
+worker ships :meth:`RWLock.metrics_snapshot` back at join and the
+orchestrator folds it in with :meth:`RWLock.fold_metrics` — histograms
+recorded by a worker would otherwise be silently dropped with it.
 """
 
 from __future__ import annotations
@@ -122,3 +131,20 @@ class RWLock:
     @property
     def writer_active(self) -> bool:
         return self._writer_active
+
+    # ------------------------------------------------------------- metrics
+    def metrics_snapshot(self) -> dict:
+        """Wait totals recorded by this process (for cross-process folds)."""
+        return {
+            "read_acquisitions": self.read_acquisitions,
+            "write_acquisitions": self.write_acquisitions,
+            "read_wait_ns": self.read_wait_ns,
+            "write_wait_ns": self.write_wait_ns,
+        }
+
+    def fold_metrics(self, snapshot: dict) -> None:
+        """Aggregate a worker's :meth:`metrics_snapshot` into this lock."""
+        self.read_acquisitions += snapshot.get("read_acquisitions", 0)
+        self.write_acquisitions += snapshot.get("write_acquisitions", 0)
+        self.read_wait_ns += snapshot.get("read_wait_ns", 0)
+        self.write_wait_ns += snapshot.get("write_wait_ns", 0)
