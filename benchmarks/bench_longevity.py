@@ -1,0 +1,443 @@
+"""Longevity benchmark: long-lived maps under eviction + compaction.
+
+Three legs, matching the PR's acceptance gates:
+
+1. **Simulated day** — a churn of clients (join/leave) continuously
+   maps for a simulated hour against keyframe / map-point budgets.
+   Evictions are reconciled into a sharded store (tombstones) and the
+   store compacts past its utilization trigger.  Gates: store bytes
+   stay in a bounded band (max <= 2x the steady-state median, with
+   actual decreases — never monotonic growth) and per-op p95 stays
+   flat (last-10-minute window <= 1.5x the first-10-minute window).
+2. **Shm compaction under readers** — a writer publishes, tombstones
+   and compacts a :class:`ShmShardedMapStore` while reader threads
+   continuously parse records with self-validating payloads.  Gates:
+   compaction reclaims bytes and zero torn reads.
+3. **Snapshot -> restore -> relocalize** — a real session persists its
+   global map; a later session restores it and a fresh client
+   relocalizes through place recognition.  Gates: the client merges
+   into the restored map with ATE < 0.15 m.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_longevity.py              # full run
+    PYTHONPATH=src python benchmarks/bench_longevity.py --smoke      # CI-sized
+    PYTHONPATH=src python benchmarks/bench_longevity.py --smoke \
+        --check BENCH_PR8.json                                       # gate
+
+The regression gate checks *booleans and ratios* (bounded, flat,
+relocalized, reclaimed, zero-torn), not absolute milliseconds, so it is
+stable across machines.  Smoke runs compare against the baseline's
+``smoke_ops`` section, full runs against ``ops``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core import ClientScenario, SlamShareConfig, SlamShareSession
+from repro.datasets import make_dataset
+from repro.geometry import SE3, so3
+from repro.sharedmem import ShardedMapStore, ShmShardedMapStore, load_snapshot
+from repro.slam import IdAllocator, SlamMap
+from repro.slam.keyframe import KeyFrame
+from repro.slam.mappoint import MapPoint
+from repro.vision.brief import DESCRIPTOR_BYTES
+
+
+# ------------------------------------------------------------ simulated day
+class _DayClient:
+    """One churning mapper: allocates ids, re-observes its recent points."""
+
+    def __init__(self, client_id: int) -> None:
+        self.client_id = client_id
+        self.kf_alloc = IdAllocator(client_id)
+        self.pt_alloc = IdAllocator(client_id)
+        self.recent_pids: List[int] = []
+        self.last_kf_id: int = -1
+        self.n_kfs = 0
+
+
+def _make_keyframe(client: _DayClient, slam_map: SlamMap, t: float,
+                   rng, new_points: int = 12, reobserve: int = 24):
+    """One keyframe observing a mix of the client's recent points."""
+    base = np.array([0.3 * client.n_kfs, 0.1 * client.client_id, 0.0])
+    pose = SE3(so3.exp(np.array([0.0, 0.01 * client.n_kfs, 0.0])), base)
+    created = []
+    for _ in range(new_points):
+        point = MapPoint(
+            point_id=client.pt_alloc.allocate(),
+            position=base + rng.normal(scale=1.5, size=3) + [0, 0, 6.0],
+            descriptor=rng.integers(0, 256, DESCRIPTOR_BYTES, dtype=np.uint8),
+        )
+        slam_map.add_mappoint(point)
+        created.append(point.point_id)
+    client.recent_pids = [
+        pid for pid in client.recent_pids if pid in slam_map.mappoints
+    ][-reobserve:] + created
+    observed = client.recent_pids[-(reobserve + new_points):]
+    n = len(observed)
+    kf = KeyFrame(
+        keyframe_id=client.kf_alloc.allocate(),
+        timestamp=t,
+        pose_cw=pose,
+        uv=rng.uniform(0, 320, size=(n, 2)),
+        descriptors=rng.integers(0, 256, (n, DESCRIPTOR_BYTES),
+                                 dtype=np.uint8),
+        depths=rng.uniform(1, 10, size=n),
+        point_ids=np.asarray(observed, dtype=np.int64),
+        client_id=client.client_id,
+    )
+    for i, pid in enumerate(observed):
+        slam_map.mappoints[pid].add_observation(kf.keyframe_id, i)
+    slam_map.add_keyframe(kf)
+    client.last_kf_id = kf.keyframe_id
+    client.n_kfs += 1
+    return kf, [slam_map.mappoints[pid] for pid in created]
+
+
+def bench_day(smoke: bool, seed: int = 0) -> Dict[str, object]:
+    """Continuous mapping with churn against budgets; bounded store."""
+    n_ops = 240 if smoke else 3600          # one keyframe-op per sim second
+    churn_every = 60 if smoke else 300      # a client leaves / joins
+    n_active = 3
+    max_kfs, max_pts = (40, 1200) if smoke else (120, 4000)
+    rng = np.random.default_rng(seed)
+    slam_map = SlamMap()
+    # Sized so steady-state occupancy sits above the compaction trigger:
+    # the arena-utilization path gets exercised, not just eviction.
+    store = ShardedMapStore(n_shards=4, capacity=1024 * 1024)
+    compact_utilization = 0.12
+    clients = [_DayClient(i) for i in range(n_active)]
+    next_client = n_active
+    bytes_series: List[int] = []
+    op_ms: List[float] = []
+    first_bind = None                       # op index where eviction began
+    evicted_kfs_total = evicted_pts_total = 0
+    reclaimed = 0
+    for op in range(n_ops):
+        if op and op % churn_every == 0:    # join/leave churn
+            clients.pop(0)
+            clients.append(_DayClient(next_client))
+            next_client += 1
+        client = clients[op % n_active]
+        start = time.perf_counter()
+        kf, new_points = _make_keyframe(client, slam_map, float(op), rng)
+        store.publish_map([kf], new_points)
+        protect_kfs = [c.last_kf_id for c in clients if c.last_kf_id >= 0]
+        protect_pts = set(kf.observed_point_ids())
+        slam_map.enforce_budgets(
+            max_keyframes=max_kfs, max_mappoints=max_pts,
+            protect_keyframes=protect_kfs, protect_points=protect_pts,
+        )
+        gone_kfs, gone_pts = slam_map.drain_evictions()
+        for kf_id in gone_kfs:
+            store.remove_keyframe(kf_id)
+        for pid in gone_pts:
+            store.remove_mappoint(pid)
+        reclaimed += store.maybe_compact(compact_utilization)
+        op_ms.append((time.perf_counter() - start) * 1e3)
+        bytes_series.append(store.stats().arena.allocated)
+        if gone_kfs or gone_pts:
+            evicted_kfs_total += len(gone_kfs)
+            evicted_pts_total += len(gone_pts)
+            if first_bind is None:
+                first_bind = op
+
+    window = max(n_ops // 6, 10)            # "10 minutes" of the hour
+    first_p95 = float(np.percentile(op_ms[:window], 95))
+    last_p95 = float(np.percentile(op_ms[-window:], 95))
+    p95_ratio = last_p95 / max(first_p95, 1e-9)
+    # The 1.5x flatness gate is meaningful over an hour of ops; smoke
+    # windows are ~40 samples of sub-millisecond work, where scheduler
+    # jitter alone swings the ratio, so smoke only catches gross
+    # (unbounded-map) slowdowns.
+    flat_limit = 5.0 if smoke else 1.5
+    steady = bytes_series[first_bind:] if first_bind is not None else []
+    decreases = sum(
+        1 for a, b in zip(steady, steady[1:]) if b < a
+    )
+    median = float(np.median(steady)) if steady else 0.0
+    bounded = bool(steady) and max(steady) <= 2.0 * median
+    gates = {
+        "budget_bound": first_bind is not None,
+        "bytes_bounded": bounded,
+        "bytes_not_monotonic": decreases > 0,
+        "map_within_budget": (slam_map.n_keyframes <= max_kfs
+                              and slam_map.n_mappoints <= max_pts),
+        "p95_flat": p95_ratio <= flat_limit,
+    }
+    print(f"  day: {n_ops} ops, evicted {evicted_kfs_total} kfs / "
+          f"{evicted_pts_total} points, store {bytes_series[-1]} B "
+          f"(peak {max(bytes_series)} B, median steady {median:.0f} B), "
+          f"p95 {first_p95:.2f} -> {last_p95:.2f} ms "
+          f"(ratio {p95_ratio:.2f}), reclaimed {reclaimed} B, "
+          f"decreases {decreases}")
+    return {
+        "detail": f"{n_ops} keyframe-ops, {n_active} clients, churn every "
+                  f"{churn_every}, budgets {max_kfs} kfs / {max_pts} points",
+        "ops": n_ops,
+        "evicted_keyframes": evicted_kfs_total,
+        "evicted_mappoints": evicted_pts_total,
+        "store_bytes_final": bytes_series[-1],
+        "store_bytes_peak": max(bytes_series),
+        "store_bytes_decreases": decreases,
+        "compaction_reclaimed_bytes": reclaimed,
+        "p95_first_ms": round(first_p95, 3),
+        "p95_last_ms": round(last_p95, 3),
+        "p95_ratio": round(p95_ratio, 3),
+        "gates": gates,
+    }
+
+
+# ------------------------------------------- shm compaction torn-read probe
+def _probe_point(pid: int) -> MapPoint:
+    """Self-validating payload: every field derived from the id."""
+    return MapPoint(
+        point_id=pid,
+        position=np.array([pid, 2.0 * pid, 3.0 * pid], dtype=np.float64),
+        descriptor=np.full(DESCRIPTOR_BYTES, pid % 251, dtype=np.uint8),
+    )
+
+
+def _point_valid(point: MapPoint) -> bool:
+    pid = point.point_id
+    return (
+        np.array_equal(point.position, [pid, 2.0 * pid, 3.0 * pid])
+        and np.all(point.descriptor == pid % 251)
+    )
+
+
+def bench_shm_compaction(smoke: bool) -> Dict[str, object]:
+    """Compact a live shm store under concurrent readers; count torn reads."""
+    rounds = 4 if smoke else 12
+    batch = 64 if smoke else 256
+    store = ShmShardedMapStore.create(
+        n_shards=2, pack_capacity=1024,
+        shard_slab_bytes=1 * 1024 * 1024, lock_timeout_s=30.0,
+    )
+    stop = threading.Event()
+    torn = [0]
+    reads = [0]
+    live_ids: List[int] = []
+
+    def reader() -> None:
+        rng = np.random.default_rng(threading.get_ident() % 2**31)
+        while not stop.is_set():
+            ids = live_ids
+            if not ids:
+                continue
+            pid = int(ids[int(rng.integers(len(ids)))])
+            point = store.get_mappoint(pid)
+            if point is None:
+                continue            # tombstoned between pick and read: fine
+            reads[0] += 1
+            if not _point_valid(point):
+                torn[0] += 1
+
+    threads = [threading.Thread(target=reader, daemon=True)
+               for _ in range(3)]
+    reclaimed = 0
+    try:
+        next_pid = 0
+        # Seed the store before the readers start so they always have
+        # live ids to race against the writer on.
+        seedlings = [_probe_point(i) for i in range(batch)]
+        next_pid += batch
+        store.publish_map([], seedlings)
+        live_ids = [p.point_id for p in seedlings]
+        for t in threads:
+            t.start()
+        for _ in range(rounds):
+            fresh = [_probe_point(next_pid + i) for i in range(batch)]
+            next_pid += batch
+            store.publish_map([], fresh)
+            live_ids = live_ids + [p.point_id for p in fresh]
+            # Tombstone the older half, then compact past the garbage.
+            half = len(live_ids) // 2
+            for pid in live_ids[:half]:
+                store.remove_mappoint(pid)
+            live_ids = live_ids[half:]
+            reclaimed += store.compact()
+            time.sleep(0.005)       # let readers race the fresh epoch
+        deadline = time.perf_counter() + 5.0
+        while reads[0] < 500 and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        survivors = store.mappoint_ids()
+        consistent = sorted(survivors) == sorted(live_ids) and all(
+            _point_valid(store.get_mappoint(pid)) for pid in survivors
+        )
+    finally:
+        stop.set()
+        store.close()
+        store.unlink()
+    gates = {
+        "reclaimed": reclaimed > 0,
+        "zero_torn_reads": torn[0] == 0,
+        "read_under_load": reads[0] > 0,
+        "post_compaction_consistent": consistent,
+    }
+    print(f"  shm: {rounds} compaction rounds, reclaimed {reclaimed} B, "
+          f"{reads[0]} concurrent reads, {torn[0]} torn, "
+          f"consistent={consistent}")
+    return {
+        "detail": f"{rounds} publish/tombstone/compact rounds of {batch} "
+                  "points, 3 reader threads on self-validating payloads",
+        "rounds": rounds,
+        "reclaimed_bytes": reclaimed,
+        "concurrent_reads": reads[0],
+        "torn_reads": torn[0],
+        "gates": gates,
+    }
+
+
+# --------------------------------------- snapshot -> restore -> relocalize
+def bench_snapshot_reloc(smoke: bool, seed: int = 7) -> Dict[str, object]:
+    """Persist a session's map; a later client relocalizes into it."""
+    save_s, restore_s = (8.0, 6.0) if smoke else (12.0, 10.0)
+    traces = ["MH04"] if smoke else ["MH04", "MH05"]
+    tmp = tempfile.mkdtemp(prefix="bench-longevity-")
+    snap_path = f"{tmp}/map.snap"
+    try:
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        config.serving.snapshot_path = snap_path
+        scenarios = [
+            ClientScenario(
+                client_id=i,
+                dataset=make_dataset(t, duration=save_s, rate=10.0),
+                start_time=i * 3.0,
+                oracle_seed=seed + 2 * i, imu_seed=seed + 2 * i + 1,
+            )
+            for i, t in enumerate(traces)
+        ]
+        SlamShareSession(scenarios, config, ate_sample_interval=1.0).run()
+        info = load_snapshot(snap_path).info
+
+        config2 = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        config2.serving.restore_path = snap_path
+        fresh_id = len(traces) + 3
+        scenario = ClientScenario(
+            client_id=fresh_id,
+            dataset=make_dataset(traces[0], duration=restore_s, rate=10.0),
+            start_time=0.0, oracle_seed=seed + 11, imu_seed=seed + 12,
+        )
+        result = SlamShareSession([scenario], config2,
+                                  ate_sample_interval=1.0).run()
+        merges = [m for m in result.merges if m.client_id == fresh_id]
+        ate = result.client_ate(fresh_id).rmse
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    gates = {
+        "snapshot_nonempty": info.n_keyframes > 0,
+        "relocalized": bool(merges),
+        "ate_under_15cm": ate < 0.15,
+    }
+    reloc_t = merges[0].session_time if merges else None
+    print(f"  reloc: snapshot {info.n_keyframes} kfs / {info.n_mappoints} "
+          f"points ({info.bytes_written} B), relocalized="
+          f"{bool(merges)}{f' at t={reloc_t:.1f}s' if merges else ''}, "
+          f"ATE {ate * 100:.2f} cm")
+    return {
+        "detail": f"{len(traces)}-client {save_s:.0f} s session persisted, "
+                  f"fresh client replays {restore_s:.0f} s against the "
+                  "restored map",
+        "snapshot_keyframes": info.n_keyframes,
+        "snapshot_mappoints": info.n_mappoints,
+        "snapshot_bytes": info.bytes_written,
+        "relocalized_at_s": reloc_t,
+        "ate_m": round(float(ate), 4),
+        "gates": gates,
+    }
+
+
+def bench_longevity(smoke: bool) -> Dict[str, Dict[str, object]]:
+    print(f"longevity benchmarks ({'smoke' if smoke else 'full'}):")
+    return {
+        "day": bench_day(smoke),
+        "shm_compaction": bench_shm_compaction(smoke),
+        "snapshot_reloc": bench_snapshot_reloc(smoke),
+    }
+
+
+# --------------------------------------------------------------- regression
+def check_regression(report: Dict, baseline_path: str) -> int:
+    """Fail if any gate fails now, or a baseline-passing gate regressed.
+
+    Gates are machine-independent booleans (bounded bytes, flat p95,
+    relocalized, zero torn reads), so smoke runs on slow CI runners
+    compare cleanly against a baseline generated elsewhere.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    section = "smoke_ops" if report["mode"] == "smoke" else "ops"
+    baseline_ops = baseline.get(section) or baseline.get("ops", {})
+    failures = []
+    for op, entry in report["ops"].items():
+        for gate, passed in entry.get("gates", {}).items():
+            if not passed:
+                failures.append(f"{op}.{gate}: failed")
+    for op, entry in baseline_ops.items():
+        current = report["ops"].get(op)
+        if current is None:
+            failures.append(f"{op}: missing from current run")
+            continue
+        for gate, passed in entry.get("gates", {}).items():
+            if passed and not current.get("gates", {}).get(gate, False):
+                failures.append(f"{op}.{gate}: passed in baseline, fails now")
+    if failures:
+        print("LONGEVITY REGRESSION:")
+        for line in sorted(set(failures)):
+            print(f"  {line}")
+        return 1
+    n_gates = sum(len(e.get("gates", {})) for e in report["ops"].values())
+    print(f"regression check vs {baseline_path} [{section}]: ok "
+          f"({n_gates} gates)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes / short runs (CI)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (e.g. BENCH_PR8.json)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare gates against a committed baseline; "
+                             "exit non-zero on any gate failure")
+    args = parser.parse_args(argv)
+
+    report = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "generated_by": "benchmarks/bench_longevity.py",
+        "ops": bench_longevity(args.smoke),
+    }
+    if not args.smoke and args.out:
+        # Also record smoke-sized gates so CI smoke runs have a
+        # like-for-like section to regression-check against.
+        print("smoke-sized reference pass (for CI --check):")
+        report["smoke_ops"] = bench_longevity(True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        return check_regression(report, args.check)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@ Subcommands::
     python -m repro.cli session  --traces MH04 MH05 --duration 12
     python -m repro.cli baseline --traces MH04 MH05 --duration 12
     python -m repro.cli stats    --traces MH04 MH05 --duration 8
+    python -m repro.cli snapshot --traces MH04 MH05 --out map.snap
+    python -m repro.cli restore  map.snap --traces MH05
     python -m repro.cli report   run.jsonl --html report.html
     python -m repro.cli info
 
@@ -116,6 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="run a session with observability on, print stats"
     )
     add_common(stats)
+    snapshot = sub.add_parser(
+        "snapshot", help="run a session, then persist the global map to disk"
+    )
+    add_common(snapshot)
+    snapshot.add_argument("--out", required=True, metavar="DIR",
+                          help="snapshot directory (atomically replaced)")
+    snapshot.add_argument("--max-keyframes", type=int, default=None,
+                          help="global-map keyframe budget (LRU eviction)")
+    snapshot.add_argument("--max-points", type=int, default=None,
+                          help="global-map map-point budget")
+    restore = sub.add_parser(
+        "restore",
+        help="restore a snapshot and relocalize a fresh client into it",
+    )
+    restore.add_argument("snapshot", metavar="DIR",
+                         help="snapshot directory written by `snapshot`")
+    add_common(restore)
+    restore.add_argument("--client-id", type=int, default=None,
+                         help="joining client's id (default: first id range "
+                              "unused by the snapshot)")
     report = sub.add_parser(
         "report", help="fold a span JSONL file into per-frame breakdowns"
     )
@@ -315,6 +337,72 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_snapshot(args) -> int:
+    """Run a session and persist its global map to a snapshot directory."""
+    from .sharedmem import load_snapshot
+
+    config = _config(args)
+    config.serving.snapshot_path = args.out
+    config.serving.map_max_keyframes = args.max_keyframes
+    config.serving.map_max_points = args.max_points
+    session = SlamShareSession(_scenarios(args), config,
+                               ate_sample_interval=1.0)
+    result = session.run()
+    info = load_snapshot(args.out).info
+    _log.info(f"snapshot: {result.duration:.1f} s simulated, "
+              f"{result.server.global_map.summary()}")
+    _log.info(f"snapshot: wrote {info.n_keyframes} keyframes / "
+              f"{info.n_mappoints} map points "
+              f"({info.bytes_written} bytes over {info.n_shards} shards) "
+              f"to {args.out}")
+    _finish_obs(args)
+    return 0
+
+
+def cmd_restore(args) -> int:
+    """Restore a snapshot, then relocalize one fresh client into it."""
+    from .sharedmem import load_snapshot
+    from .slam import IdAllocator
+
+    snap = load_snapshot(args.snapshot)
+    if not snap.keyframes:
+        _log.error("restore: snapshot %s holds no keyframes", args.snapshot)
+        return 1
+    client_id = args.client_id
+    if client_id is None:
+        owners = {IdAllocator.owner_of(kf.keyframe_id)
+                  for kf in snap.keyframes}
+        owners |= {IdAllocator.owner_of(p.point_id) for p in snap.mappoints}
+        client_id = max(owners) + 1
+    dataset = make_dataset(args.traces[0], duration=args.duration,
+                           rate=args.rate)
+    scenario = ClientScenario(
+        client_id=client_id, dataset=dataset, start_time=0.0,
+        oracle_seed=args.seed, imu_seed=args.seed + 1,
+    )
+    config = _config(args)
+    config.serving.restore_path = args.snapshot
+    session = SlamShareSession([scenario], config, ate_sample_interval=1.0)
+    slo_engine = _attach_slo(args, session)
+    result = session.run()
+    info = snap.info
+    _log.info(f"restore: loaded {info.n_keyframes} keyframes / "
+              f"{info.n_mappoints} map points from {args.snapshot}")
+    merged = [m for m in result.merges if m.client_id == client_id]
+    if merged:
+        _log.info(f"restore: client {client_id} relocalized into the "
+                  f"restored map at t={merged[0].session_time:.1f} s")
+    else:
+        _log.warning(f"restore: client {client_id} did not relocalize "
+                     f"into the restored map")
+    ate = result.client_ate(client_id)
+    _log.info(f"restore: client {client_id} ATE {ate.rmse * 100:.2f} cm "
+              f"over {result.duration:.1f} s")
+    _report_slo(slo_engine)
+    _finish_obs(args)
+    return 0 if merged else 1
+
+
 def cmd_report(args) -> int:
     """Fold a span JSONL file into the per-frame / per-stage report."""
     from .obs.frames import FrameLedger
@@ -367,6 +455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "session": cmd_session,
         "baseline": cmd_baseline,
         "stats": cmd_stats,
+        "snapshot": cmd_snapshot,
+        "restore": cmd_restore,
         "report": cmd_report,
         "info": cmd_info,
     }[args.command]

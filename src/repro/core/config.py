@@ -84,6 +84,20 @@ class ServingConfig:
     admission: bool = True
     queue_depth: int = 8                 # in-flight frames per client
     stale_ms: Optional[float] = None     # shed frames older than this
+    # --- long-lived maps: eviction budgets, compaction, persistence.
+    # ``None`` budgets keep the historical unbounded behavior; when set
+    # they are pushed into every client's LocalMappingConfig so the
+    # global map stays under budget via covisibility-aware LRU eviction.
+    map_max_keyframes: Optional[int] = None
+    map_max_points: Optional[int] = None
+    # Store compaction trigger: compact any shard whose arena / log
+    # crosses this utilization after evictions land.  None disables.
+    store_compact_utilization: Optional[float] = 0.6
+    # Snapshot/restore wiring (repro.cli snapshot / restore): restore
+    # preloads the global map before any client joins; snapshot saves it
+    # when the session ends.
+    restore_path: Optional[str] = None
+    snapshot_path: Optional[str] = None
 
     def batching_config(self) -> Optional[BatchingConfig]:
         if not self.batching:

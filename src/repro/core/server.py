@@ -25,6 +25,7 @@ from ..obs import get_logger, get_metrics, get_tracer, kv
 from ..obs.trace import TraceContext
 from ..sharedmem import ShardedMapStore, SharedMapStore, ShmShardedMapStore
 from ..slam import (
+    IdAllocator,
     KeyframeDatabase,
     MapMerger,
     MergeResult,
@@ -74,6 +75,12 @@ _shed_stale = _metrics.counter(
 _shed_overload = _metrics.counter(
     "server.frames_shed_overload", "frames shed because the client queue was full"
 )
+_evicted_keyframes = _metrics.counter(
+    "server.keyframes_evicted", "keyframes evicted by the map budgets"
+)
+_evicted_points = _metrics.counter(
+    "server.mappoints_evicted", "map points evicted by the map budgets"
+)
 
 
 @dataclass
@@ -118,6 +125,12 @@ class SlamShareServer:
         self.global_map = SlamMap(map_id=0)
         self.global_database = KeyframeDatabase(self.vocabulary)
         serving = self.config.serving
+        # Long-lived-map budgets flow into every client's local-mapping
+        # config, where keyframe insertion enforces them on the map.
+        if serving.map_max_keyframes is not None:
+            self.config.slam.mapping.max_keyframes = serving.map_max_keyframes
+        if serving.map_max_points is not None:
+            self.config.slam.mapping.max_mappoints = serving.map_max_points
         self._owns_store = store is None and serving.store_backend == "shm"
         if store is not None:
             self.store = store
@@ -162,11 +175,60 @@ class SlamShareServer:
             self.store.close()
             self.store.unlink()
 
+    # ----------------------------------------------------------- snapshots
+    def save_snapshot(self, path: str):
+        """Persist the global map's store records to ``path``.
+
+        Only entities the global map actually holds are written:
+        records published by not-yet-merged clients live in private
+        coordinate frames and must not contaminate the durable map.
+        """
+        from ..sharedmem.snapshot import save_snapshot
+
+        info = save_snapshot(
+            self.store, path,
+            keyframe_ids=self.global_map.keyframes,
+            mappoint_ids=self.global_map.mappoints,
+        )
+        _log.info(
+            "snapshot saved: %s",
+            kv(path=path, keyframes=info.n_keyframes,
+               mappoints=info.n_mappoints, bytes=info.bytes_written),
+        )
+        return info
+
+    def load_snapshot(self, snapshot):
+        """Preload the global map from a snapshot (path or loaded object).
+
+        Must run before any client joins: the restored map becomes the
+        global map, so the first fresh client goes through the ordinary
+        merge / place-recognition path instead of seeding a new world —
+        that is multi-session relocalization.
+        """
+        from ..sharedmem.snapshot import (
+            LoadedSnapshot, load_snapshot, restore_into_store, restore_map,
+        )
+
+        if self.processes or self.global_map.n_keyframes:
+            raise RuntimeError("load_snapshot requires an empty server")
+        snap = (snapshot if isinstance(snapshot, LoadedSnapshot)
+                else load_snapshot(snapshot))
+        restore_into_store(snap, self.store)
+        restore_map(snap, self.global_map, self.global_database)
+        _log.info(
+            "snapshot restored: %s",
+            kv(keyframes=self.global_map.n_keyframes,
+               mappoints=self.global_map.n_mappoints),
+        )
+        return snap
+
     def add_client(self, client_id: int, gravity_map: np.ndarray) -> None:
         """Register a client; allocates its server-side SLAM process."""
         if client_id in self.processes:
             raise ValueError(f"client {client_id} already registered")
-        first = not self.processes
+        # A restored global map counts: the first client of a fresh
+        # session must relocalize into it via merging, not become it.
+        first = not self.processes and self.global_map.n_keyframes == 0
         if first:
             system = SlamSystem(
                 self.camera,
@@ -185,6 +247,22 @@ class SlamShareServer:
                 vocabulary=self.vocabulary,
                 gravity=gravity_map,
             )
+        # Ids this client minted in a previous session (now restored
+        # into the global map) must never be re-allocated.
+        next_kf = max(
+            (kid for kid in self.global_map.keyframes
+             if IdAllocator.owner_of(kid) == client_id),
+            default=None,
+        )
+        if next_kf is not None:
+            system.mapper.kf_allocator.reserve_until(next_kf + 1)
+        next_pt = max(
+            (pid for pid in self.global_map.mappoints
+             if IdAllocator.owner_of(pid) == client_id),
+            default=None,
+        )
+        if next_pt is not None:
+            system.mapper.point_allocator.reserve_until(next_pt + 1)
         process = _ClientProcess(client_id, system)
         process.merged = first
         process.merge_transform = Sim3.identity() if first else None
@@ -367,6 +445,7 @@ class SlamShareServer:
                     >= self.config.merge_min_keyframes
                 ):
                     merge_result, merge_ms = self._try_merge(process)
+                self._reconcile_evictions(process)
         # Real (wall-clock) cost of the hot path, alongside the
         # simulated latency model: this is what bench_wallclock.py reads.
         _wall_hist.record(
@@ -385,6 +464,34 @@ class SlamShareServer:
             merge_ms=merge_ms,
             store_bytes_written=store_bytes,
         )
+
+    # ------------------------------------------------------------ eviction
+    def _reconcile_evictions(self, process: _ClientProcess) -> None:
+        """Mirror map evictions into the shared store, then maybe compact.
+
+        Budget enforcement runs inside the mapper (on the client's map,
+        which *is* the global map once merged); the store learns about
+        it here via tombstones.  When tombstones have accumulated past
+        the configured utilization, the store compacts its shard logs /
+        arenas so long-lived sessions reclaim the dead bytes instead of
+        growing monotonically.
+        """
+        evicted_kfs, evicted_pts = process.system.map.drain_evictions()
+        if not evicted_kfs and not evicted_pts:
+            return
+        for kf_id in evicted_kfs:
+            self.store.remove_keyframe(kf_id)
+            # Evicted keyframes must also leave the global BoW index, or
+            # place recognition could hand out a keyframe the map no
+            # longer holds (the mapper already cleared its own database).
+            self.global_database.remove(kf_id)
+        for pid in evicted_pts:
+            self.store.remove_mappoint(pid)
+        _evicted_keyframes.inc(len(evicted_kfs))
+        _evicted_points.inc(len(evicted_pts))
+        threshold = self.config.serving.store_compact_utilization
+        if threshold is not None and hasattr(self.store, "maybe_compact"):
+            self.store.maybe_compact(threshold)
 
     # --------------------------------------------------------------- merge
     def _try_merge(self, process: _ClientProcess):

@@ -236,6 +236,11 @@ class SlamShareSession:
         self.clock = SimClock()
         camera = self.scenarios[0].dataset.camera
         self.server = SlamShareServer(camera, self.config)
+        # Multi-session relocalization: preload the global map from a
+        # snapshot so every client of this session (including the first)
+        # relocalizes into the persisted world via the merge path.
+        if self.config.serving.restore_path:
+            self.server.load_snapshot(self.config.serving.restore_path)
         # One GPU dispatch queue for the whole server.  Spatial sharing
         # is already modeled inside the latency model (gpu_share), so
         # the scheduler's own slowdown is pinned to 1 here; its job is
@@ -370,6 +375,8 @@ class SlamShareSession:
             kv(duration_s=end_time, merges=len(self.merges),
                keyframes=self.server.global_map.n_keyframes),
         )
+        if self.config.serving.snapshot_path:
+            self.server.save_snapshot(self.config.serving.snapshot_path)
         return SessionResult(
             config=config,
             server=self.server,

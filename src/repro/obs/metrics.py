@@ -133,8 +133,12 @@ class Histogram:
             return 0.0
         rank = q * self.count
         seen = self._zero
-        if seen >= rank:
+        if seen and seen >= rank:
             return 0.0
+        if rank <= seen:
+            # q == 0 with no zero-bucket samples: the quantile is the
+            # observed minimum, not the (empty) zero bucket.
+            return self.min
         for index in sorted(self._buckets):
             seen += self._buckets[index]
             if seen >= rank:

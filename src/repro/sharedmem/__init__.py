@@ -14,6 +14,15 @@ from .prwlock import ProcessRWLock
 from .rwlock import RWLock
 from .sharding import ShardedMapStore, spatial_shard
 from .shm_backend import SharedMemoryRegion
+from .snapshot import (
+    LoadedSnapshot,
+    SnapshotError,
+    SnapshotInfo,
+    load_snapshot,
+    restore_into_store,
+    restore_map,
+    save_snapshot,
+)
 from .shm_store import (
     SharedMapPack,
     ShmMapLayout,
@@ -38,6 +47,13 @@ __all__ = [
     "spatial_shard",
     "SharedMemoryRegion",
     "StoreStats",
+    "LoadedSnapshot",
+    "SnapshotError",
+    "SnapshotInfo",
+    "load_snapshot",
+    "restore_into_store",
+    "restore_map",
+    "save_snapshot",
     "keyframe_record_size",
     "mappoint_record_size",
     "read_keyframe_record",

@@ -127,6 +127,16 @@ class Arena:
             raise ArenaError(f"view out of range: {offset}+{size}")
         return self._buffer[offset : offset + size]
 
+    def largest_free(self) -> int:
+        """Largest contiguous free block — the figure compaction grows.
+
+        First-fit keeps ``capacity - allocated`` constant across a churn
+        of equal-sized records, but fragmentation shrinks the largest
+        hole until big records stop fitting; this is the honest measure
+        of how much contiguous capacity a compaction pass reclaimed.
+        """
+        return max((size for _, size in self._free), default=0)
+
     def stats(self) -> ArenaStats:
         return ArenaStats(
             capacity=self.capacity,

@@ -60,6 +60,12 @@ _multi_shard_writes = _metrics.counter(
 _shards_per_write = _metrics.histogram(
     "sharedmem.shards_per_write", "write-locked shards per publish batch"
 )
+_compactions_total = _metrics.counter(
+    "sharedmem.compactions", "store compaction passes"
+)
+_reclaimed_bytes = _metrics.counter(
+    "sharedmem.reclaimed_bytes", "bytes reclaimed by store compaction"
+)
 
 
 def spatial_shard(position, region_size: float, n_shards: int) -> int:
@@ -305,6 +311,59 @@ class ShardedMapStore:
             if len(by_shard) > 1:
                 _multi_shard_writes.inc()
         return total
+
+    # --------------------------------------------------------- compaction
+    def _compact_locked(self, shard: _Shard) -> int:
+        """Rewrite a shard's live records into a fresh arena.
+
+        Caller holds the shard's write lock.  Live records pack
+        contiguously from offset 0, which coalesces every fragmentation
+        hole the first-fit free list accumulated into one tail block.
+        Returns the growth of the largest contiguous free span.
+        """
+        before = shard.arena.largest_free()
+        fresh = Arena(bytearray(shard.arena.capacity))
+        for index in (shard.kf_index, shard.mp_index):
+            for entity_id, (offset, size) in list(index.items()):
+                new_offset = fresh.alloc(size)
+                fresh.view(new_offset, size)[:] = shard.arena.view(offset, size)
+                index[entity_id] = (new_offset, size)
+        shard.arena = fresh
+        return max(0, fresh.largest_free() - before)
+
+    def compact(self, shard_indices: Optional[Sequence[int]] = None) -> int:
+        """Defragment shards under the ordered write transaction.
+
+        Returns the contiguous bytes reclaimed across all compacted
+        shards and bumps the ``sharedmem.compactions`` /
+        ``sharedmem.reclaimed_bytes`` counters.
+        """
+        indices = (list(range(self.n_shards)) if shard_indices is None
+                   else list(shard_indices))
+        reclaimed = 0
+        with self.write_transaction(indices) as ordered:
+            for idx in ordered:
+                reclaimed += self._compact_locked(self.shards[idx])
+        if _metrics.enabled:
+            _compactions_total.inc()
+            _reclaimed_bytes.inc(reclaimed)
+        return reclaimed
+
+    def maybe_compact(self, utilization: float = 0.6) -> int:
+        """Compact every shard whose arena crossed ``utilization``.
+
+        The occupancy probe is lock-free (a racy hint is fine — the
+        compaction itself runs under the write transaction); returns 0
+        when no shard is due.
+        """
+        due = [
+            shard.index
+            for shard in self.shards
+            if shard.arena.stats().utilization >= utilization
+        ]
+        if not due:
+            return 0
+        return self.compact(due)
 
     # ------------------------------------------------------------- stats
     def stats(self) -> StoreStats:

@@ -84,6 +84,12 @@ _publishes_total = _metrics.counter(
 _publish_bytes = _metrics.counter(
     "sharedmem.publish_bytes", "bytes written by map publishes"
 )
+_compactions_total = _metrics.counter(
+    "sharedmem.compactions", "store compaction passes"
+)
+_reclaimed_bytes = _metrics.counter(
+    "sharedmem.reclaimed_bytes", "bytes reclaimed by store compaction"
+)
 
 MAGIC = 0x534C4D53  # "SLMS"
 LAYOUT_VERSION = 1
@@ -91,6 +97,11 @@ _GLOBAL_HEADER = struct.Struct("<IIIIQQd")
 HEADER_BYTES = 64
 _SLAB_COUNTS = struct.Struct("<QQQ")     # count/bytes_used, version, capacity
 _LOCK_WORD_OFFSET = 24                   # within a slab header
+# Compaction epoch (u64) after the 16-byte lock word; bumped whenever a
+# shard's log is rewritten in place so every attached process knows its
+# cached offsets and scan cursor are stale and rescans from offset 0.
+_SLAB_EPOCH_OFFSET = 40
+_SLAB_EPOCH = struct.Struct("<Q")
 _RECORD_PREFIX = struct.Struct("<IIQQ")  # kind, flags, entity_id, size
 
 KIND_KEYFRAME = 1
@@ -268,7 +279,8 @@ class _ShmShard:
     """Process-local handle on one shard slab."""
 
     __slots__ = ("index", "header_offset", "log_offset", "log_capacity",
-                 "lock", "kf_index", "mp_index", "scanned", "writes", "reads")
+                 "lock", "kf_index", "mp_index", "scanned", "epoch",
+                 "writes", "reads")
 
     def __init__(self, index: int, layout: ShmMapLayout,
                  lock: ProcessRWLock) -> None:
@@ -280,6 +292,7 @@ class _ShmShard:
         self.kf_index: Dict[int, tuple] = {}
         self.mp_index: Dict[int, tuple] = {}
         self.scanned = 0          # log bytes this process has indexed
+        self.epoch = 0            # compaction epoch our index reflects
         self.writes = 0
         self.reads = 0
 
@@ -425,7 +438,22 @@ class ShmShardedMapStore:
 
         Caller holds the shard's read or write lock, so ``bytes_used``
         is a stable cursor and every record before it is fully written.
+        A compaction-epoch mismatch means another process rewrote the
+        log under us: every cached offset is stale, so the local index
+        is dropped and the (now shorter) log rescanned from the start.
         """
+        buf_epoch = _SLAB_EPOCH.unpack_from(
+            self.region.buffer, shard.header_offset + _SLAB_EPOCH_OFFSET
+        )[0]
+        if buf_epoch != shard.epoch:
+            for kf_id in shard.kf_index:
+                self._kf_shard.pop(kf_id, None)
+            for pid in shard.mp_index:
+                self._mp_shard.pop(pid, None)
+            shard.kf_index.clear()
+            shard.mp_index.clear()
+            shard.scanned = 0
+            shard.epoch = buf_epoch
         bytes_used, _, _ = self._shard_counts(shard)
         if shard.scanned >= bytes_used:
             return
@@ -689,6 +717,87 @@ class ShmShardedMapStore:
             _publishes_total.inc()
             _publish_bytes.inc(total)
         return total
+
+    # --------------------------------------------------------- compaction
+    def _compact_locked(self, shard: _ShmShard) -> int:
+        """Rewrite the shard's live records from the log start.
+
+        Caller holds the shard's write lock and has refreshed its index
+        (``write_transaction`` does both).  Live records move leftward
+        past the tombstones and superseded versions, the bump cursor
+        resets to the new log length and the compaction epoch bumps so
+        other attached processes drop their stale offsets on next
+        refresh.  Each payload is copied out before rewriting, and live
+        records only ever move to lower offsets, so in-place rewriting
+        never reads bytes it has already overwritten.
+        """
+        buf = self.region.buffer
+        bytes_used, _, version = self._shard_counts(shard)
+        live = sorted(
+            [(off, size, KIND_KEYFRAME, eid)
+             for eid, (off, size) in shard.kf_index.items()]
+            + [(off, size, KIND_MAPPOINT, eid)
+               for eid, (off, size) in shard.mp_index.items()]
+        )
+        cursor = shard.log_offset
+        new_kf: Dict[int, tuple] = {}
+        new_mp: Dict[int, tuple] = {}
+        for offset, size, kind, entity_id in live:
+            payload = bytes(buf[offset : offset + size])
+            _RECORD_PREFIX.pack_into(buf, cursor, kind, 0, entity_id, size)
+            dst = cursor + _RECORD_PREFIX.size
+            buf[dst : dst + size] = payload
+            (new_kf if kind == KIND_KEYFRAME else new_mp)[entity_id] = (
+                dst, size,
+            )
+            cursor += _RECORD_PREFIX.size + _align8(size)
+        new_used = cursor - shard.log_offset
+        shard.kf_index = new_kf
+        shard.mp_index = new_mp
+        self._set_shard_counts(shard, new_used, len(live), version + 1)
+        _SLAB_EPOCH.pack_into(
+            buf, shard.header_offset + _SLAB_EPOCH_OFFSET, shard.epoch + 1
+        )
+        shard.epoch += 1
+        shard.scanned = new_used
+        return max(0, bytes_used - new_used)
+
+    def compact(self, shard_indices: Optional[Sequence[int]] = None,
+                trace=None) -> int:
+        """Compact shard logs under the ordered multi-shard transaction.
+
+        Returns the log bytes reclaimed (tombstones plus superseded
+        record versions) and bumps ``sharedmem.compactions`` /
+        ``sharedmem.reclaimed_bytes``.
+        """
+        indices = (list(range(self.n_shards)) if shard_indices is None
+                   else list(shard_indices))
+        reclaimed = 0
+        with self.write_transaction(indices, trace=trace) as ordered:
+            for idx in ordered:
+                reclaimed += self._compact_locked(self.shards[idx])
+        if _metrics.enabled:
+            _compactions_total.inc()
+            _reclaimed_bytes.inc(reclaimed)
+        return reclaimed
+
+    def maybe_compact(self, utilization: float = 0.6, trace=None) -> int:
+        """Compact the shards whose log crossed ``utilization`` full.
+
+        The occupancy probe reads ``bytes_used`` without the lock — a
+        racy hint is fine because the compaction itself re-reads
+        everything under the write transaction.
+        """
+        due = []
+        for shard in self.shards:
+            bytes_used = _SLAB_COUNTS.unpack_from(
+                self.region.buffer, shard.header_offset
+            )[0]
+            if bytes_used / shard.log_capacity >= utilization:
+                due.append(shard.index)
+        if not due:
+            return 0
+        return self.compact(due, trace=trace)
 
     # ------------------------------------------------------------- stats
     def stats(self) -> StoreStats:

@@ -1,0 +1,248 @@
+"""Disk snapshots of the shared map store (long-lived maps).
+
+A snapshot makes the global map durable across server restarts: the
+multi-user payoff is a client joining hours later relocalizing into the
+persisted map through the ordinary place-recognition path instead of
+mapping from scratch.
+
+On-disk layout — a directory, so per-shard files can be written (and
+later read) independently::
+
+    <path>/
+        MANIFEST.json       version, counts, per-shard byte sizes + CRCs
+        shard-0000.bin      framed records, same packing as the shm log
+        shard-0001.bin
+        ...
+
+Each shard file is a sequence of ``(kind u32 | flags u32 | entity_id
+u64 | size u64)`` frames followed by the packed keyframe / map-point
+record from :mod:`repro.sharedmem.records` — byte-compatible with the
+shm shard logs, minus tombstones (a snapshot holds only live records).
+
+Writes are atomic at the directory level: everything lands in
+``<path>.tmp`` first, the manifest is written last (a directory without
+a readable manifest is not a snapshot), and a final ``os.replace``
+publishes the snapshot under its real name.  A crash leaves either the
+previous snapshot or a ``.tmp`` leftover, never a half-readable one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..slam.keyframe import KeyFrame
+from ..slam.mappoint import MapPoint
+from .records import (
+    keyframe_record_size,
+    mappoint_record_size,
+    read_keyframe_record,
+    read_mappoint_record,
+    write_keyframe_record,
+    write_mappoint_record,
+)
+
+SNAPSHOT_MAGIC = "slam-share-map-snapshot"
+SNAPSHOT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
+
+_FRAME = struct.Struct("<IIQQ")  # kind, flags, entity_id, size
+KIND_KEYFRAME = 1
+KIND_MAPPOINT = 2
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot directory is missing, corrupt or from another version."""
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """What a save wrote (or a load found)."""
+
+    path: str
+    n_keyframes: int
+    n_mappoints: int
+    n_shards: int
+    bytes_written: int
+
+
+@dataclass
+class LoadedSnapshot:
+    """A snapshot parsed back into map entities."""
+
+    manifest: Dict
+    keyframes: List[KeyFrame]
+    mappoints: List[MapPoint]
+
+    @property
+    def info(self) -> SnapshotInfo:
+        return SnapshotInfo(
+            path=self.manifest.get("path", ""),
+            n_keyframes=len(self.keyframes),
+            n_mappoints=len(self.mappoints),
+            n_shards=self.manifest["n_shards"],
+            bytes_written=sum(s["bytes"] for s in self.manifest["shards"]),
+        )
+
+
+def _frame_keyframe(kf: KeyFrame) -> bytes:
+    size = keyframe_record_size(len(kf), len(kf.bow_vector))
+    buf = bytearray(_FRAME.size + size)
+    _FRAME.pack_into(buf, 0, KIND_KEYFRAME, 0, kf.keyframe_id, size)
+    write_keyframe_record(memoryview(buf)[_FRAME.size:], kf)
+    return bytes(buf)
+
+
+def _frame_mappoint(point: MapPoint) -> bytes:
+    size = mappoint_record_size(len(point.observations))
+    buf = bytearray(_FRAME.size + size)
+    _FRAME.pack_into(buf, 0, KIND_MAPPOINT, 0, point.point_id, size)
+    write_mappoint_record(memoryview(buf)[_FRAME.size:], point)
+    return bytes(buf)
+
+
+def save_snapshot(
+    store,
+    path: str,
+    keyframe_ids: Optional[Iterable[int]] = None,
+    mappoint_ids: Optional[Iterable[int]] = None,
+) -> SnapshotInfo:
+    """Write the store's live records to ``path`` (a directory).
+
+    ``keyframe_ids`` / ``mappoint_ids`` filter what is persisted — the
+    server passes the global map's entity sets so records published by
+    not-yet-merged clients (whose geometry is still in a private frame)
+    stay out of the durable map.
+    """
+    n_shards = int(getattr(store, "n_shards", 1))
+    kf_filter = None if keyframe_ids is None else {int(i) for i in keyframe_ids}
+    mp_filter = None if mappoint_ids is None else {int(i) for i in mappoint_ids}
+    per_shard: Dict[int, bytearray] = {i: bytearray() for i in range(n_shards)}
+    n_kf = n_mp = 0
+    for kf_id in store.keyframe_ids():
+        if kf_filter is not None and int(kf_id) not in kf_filter:
+            continue
+        kf = store.get_keyframe(kf_id)
+        if kf is None:
+            continue
+        shard = (store.shard_of_keyframe(kf)
+                 if hasattr(store, "shard_of_keyframe") else 0)
+        per_shard[shard] += _frame_keyframe(kf)
+        n_kf += 1
+    for pid in store.mappoint_ids():
+        if mp_filter is not None and int(pid) not in mp_filter:
+            continue
+        point = store.get_mappoint(pid)
+        if point is None:
+            continue
+        shard = (store.shard_of_mappoint(point)
+                 if hasattr(store, "shard_of_mappoint") else 0)
+        per_shard[shard] += _frame_mappoint(point)
+        n_mp += 1
+
+    tmp = path.rstrip(os.sep) + ".tmp"
+    if os.path.exists(tmp):
+        shutil.rmtree(tmp)
+    os.makedirs(tmp)
+    shards_meta = []
+    total = 0
+    for index in range(n_shards):
+        data = bytes(per_shard[index])
+        name = f"shard-{index:04d}.bin"
+        with open(os.path.join(tmp, name), "wb") as fh:
+            fh.write(data)
+        shards_meta.append({
+            "shard": index,
+            "file": name,
+            "bytes": len(data),
+            "crc32": zlib.crc32(data),
+        })
+        total += len(data)
+    manifest = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "n_shards": n_shards,
+        "n_keyframes": n_kf,
+        "n_mappoints": n_mp,
+        "shards": shards_meta,
+    }
+    # Manifest last: its presence is the commit record for the tmp dir.
+    with open(os.path.join(tmp, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if os.path.exists(path):
+        shutil.rmtree(path)
+    os.replace(tmp, path)
+    return SnapshotInfo(
+        path=path, n_keyframes=n_kf, n_mappoints=n_mp,
+        n_shards=n_shards, bytes_written=total,
+    )
+
+
+def load_snapshot(path: str) -> LoadedSnapshot:
+    """Read and verify a snapshot directory back into entities."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise SnapshotError(f"no snapshot manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    if manifest.get("magic") != SNAPSHOT_MAGIC:
+        raise SnapshotError(f"{path} is not a map snapshot")
+    if manifest.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {manifest.get('version')} unsupported "
+            f"(code reads v{SNAPSHOT_VERSION})"
+        )
+    manifest["path"] = path
+    keyframes: List[KeyFrame] = []
+    mappoints: List[MapPoint] = []
+    for meta in manifest["shards"]:
+        file_path = os.path.join(path, meta["file"])
+        with open(file_path, "rb") as fh:
+            data = fh.read()
+        if len(data) != meta["bytes"] or zlib.crc32(data) != meta["crc32"]:
+            raise SnapshotError(f"corrupt snapshot shard {meta['file']}")
+        view = memoryview(data)
+        cursor = 0
+        while cursor < len(data):
+            kind, _flags, entity_id, size = _FRAME.unpack_from(view, cursor)
+            payload = view[cursor + _FRAME.size : cursor + _FRAME.size + size]
+            if kind == KIND_KEYFRAME:
+                keyframes.append(read_keyframe_record(payload))
+            elif kind == KIND_MAPPOINT:
+                mappoints.append(read_mappoint_record(payload))
+            else:
+                raise SnapshotError(
+                    f"corrupt snapshot record kind {kind} in {meta['file']}"
+                )
+            cursor += _FRAME.size + size
+    return LoadedSnapshot(manifest=manifest, keyframes=keyframes,
+                          mappoints=mappoints)
+
+
+def restore_into_store(snapshot: LoadedSnapshot, store) -> int:
+    """Publish every snapshot entity into a (fresh) store; returns bytes."""
+    return store.publish_map(snapshot.keyframes, snapshot.mappoints)
+
+
+def restore_map(snapshot: LoadedSnapshot, slam_map, database=None) -> None:
+    """Rebuild a :class:`SlamMap` (and BoW database) from a snapshot.
+
+    Observations are carried inside the records, so the covisibility
+    graph regrows exactly; adding the keyframes' stored BoW vectors to
+    ``database`` re-arms place recognition — the path a later session's
+    fresh client relocalizes through.
+    """
+    for point in snapshot.mappoints:
+        slam_map.add_mappoint(point)
+    for kf in snapshot.keyframes:
+        slam_map.add_keyframe(kf)
+    slam_map.rebuild_covisibility()
+    if database is not None:
+        for kf in snapshot.keyframes:
+            database.add(kf.keyframe_id, kf.bow_vector)

@@ -33,6 +33,11 @@ class LocalMappingConfig:
     cull_found_ratio: float = 0.25
     cull_min_visible: int = 8
     backend: str = "vectorized"  # BA kernels: "vectorized" or "scalar"
+    # Long-lived-map budgets: ``None`` disables eviction (unbounded, the
+    # historical behavior).  When set, every keyframe insertion enforces
+    # them via covisibility-aware LRU eviction on the map.
+    max_keyframes: Optional[int] = None
+    max_mappoints: Optional[int] = None
 
 
 class LocalMapper:
@@ -170,13 +175,45 @@ class LocalMapper:
         if self._keyframes_since_ba >= cfg.ba_every_n_keyframes:
             self._keyframes_since_ba = 0
             self.run_local_ba(keyframe.keyframe_id)
+        self.enforce_budgets(keyframe)
         return keyframe
+
+    def enforce_budgets(self, keyframe: Optional[KeyFrame] = None) -> int:
+        """Apply the configured map budgets (no-op when unbounded).
+
+        Runs after BA so the adjustment window is never evicted from
+        under the optimizer.  The freshly inserted keyframe and its
+        points are protected; evicted keyframes also leave the BoW
+        database so place recognition cannot return a resident-looking
+        keyframe the map no longer holds.
+        """
+        cfg = self.config
+        if cfg.max_keyframes is None and cfg.max_mappoints is None:
+            return 0
+        protect_kfs = set()
+        protect_pts = set()
+        if keyframe is not None:
+            protect_kfs.add(keyframe.keyframe_id)
+            protect_pts.update(int(p) for p in keyframe.observed_point_ids())
+        evicted_kfs, evicted_pts = self.map.enforce_budgets(
+            cfg.max_keyframes,
+            cfg.max_mappoints,
+            protect_keyframes=protect_kfs,
+            protect_points=protect_pts,
+        )
+        for kf_id in evicted_kfs:
+            self.database.remove(kf_id)
+            if self.last_keyframe_id == kf_id:
+                self.last_keyframe_id = None
+        return len(evicted_kfs) + len(evicted_pts)
 
     def run_local_ba(self, center_keyframe_id: int) -> BAStats:
         """Local bundle adjustment around a keyframe (fixing the oldest)."""
         window = [center_keyframe_id] + self.map.covisible_keyframes(
             center_keyframe_id
         )[: self.config.ba_window - 1]
+        for kf_id in window:
+            self.map.touch_keyframe(kf_id)
         fixed = {min(window)} if len(window) > 1 else set()
         return local_bundle_adjustment(
             self.map, self.camera, window, fixed_keyframe_ids=fixed,

@@ -39,6 +39,21 @@ class IdAllocator:
             raise RuntimeError(f"id space exhausted for client {self.client_id}")
         return value
 
+    def reserve_until(self, next_id: int) -> None:
+        """Skip ids below ``next_id`` within this client's range.
+
+        A restored map may already hold entities this client id minted
+        in a previous session; reserving past them keeps fresh
+        allocations collision-free across sessions.
+        """
+        if next_id <= self._next:
+            return
+        if next_id > (self.client_id + 1) * CLIENT_ID_STRIDE:
+            raise ValueError(
+                f"id {next_id} outside client {self.client_id}'s range"
+            )
+        self._next = next_id
+
     @staticmethod
     def owner_of(entity_id: int) -> int:
         """Which client id range an id belongs to."""
@@ -60,11 +75,13 @@ class _PackedPointArrays:
         self.positions = np.zeros((0, 3), dtype=float)
         self.descriptors = np.zeros((0, 0), dtype=np.uint8)
         self.row_of: Dict[int, int] = {}
+        self.ids: List[int] = []  # row -> point id (inverse of row_of)
         self.n = 0
 
     def rebuild(self, mappoints: Dict[int, MapPoint]) -> None:
         self.n = len(mappoints)
         self.row_of = {pid: row for row, pid in enumerate(mappoints)}
+        self.ids = list(mappoints)
         if self.n == 0:
             self.positions = np.zeros((0, 3), dtype=float)
             self.descriptors = np.zeros((0, 0), dtype=np.uint8)
@@ -92,7 +109,30 @@ class _PackedPointArrays:
         self.positions[self.n] = point.position
         self.descriptors[self.n] = point.descriptor
         self.row_of[point.point_id] = self.n
+        self.ids.append(point.point_id)
         self.n += 1
+
+    def remove(self, point_id: int) -> None:
+        """O(1) swap-remove: the last row moves into the freed slot.
+
+        Eviction and fusion delete points one at a time; rebuilding the
+        whole mirror per deletion would make every eviction pass O(n)
+        in the map size, which is exactly the cost cliff the budgets
+        exist to avoid.  Row order is not part of the contract (callers
+        address rows through ``row_of``), so swapping is safe.
+        """
+        row = self.row_of.pop(point_id, None)
+        if row is None:
+            return
+        last = self.n - 1
+        if row != last:
+            moved_id = self.ids[last]
+            self.positions[row] = self.positions[last]
+            self.descriptors[row] = self.descriptors[last]
+            self.ids[row] = moved_id
+            self.row_of[moved_id] = row
+        self.ids.pop()
+        self.n = last
 
     def update_position(self, point_id: int, position: np.ndarray) -> None:
         row = self.row_of.get(point_id)
@@ -123,6 +163,13 @@ class SlamMap:
         self._version = 0
         self._packed = _PackedPointArrays()
         self._packed_dirty = True
+        # LRU bookkeeping for eviction: keyframe id -> last-use tick.
+        self._use_tick = 0
+        self._kf_last_use: Dict[int, int] = {}
+        # Entities evicted since the last drain; the serving layer
+        # reconciles these against the shared store and BoW database.
+        self._evicted_keyframes: List[int] = []
+        self._evicted_points: List[int] = []
 
     # --------------------------------------------------------------- caching
     @property
@@ -209,6 +256,8 @@ class SlamMap:
         self.keyframes[keyframe.keyframe_id] = keyframe
         self.covisibility.add_node(keyframe.keyframe_id)
         self._update_covisibility(keyframe)
+        self._use_tick += 1
+        self._kf_last_use[keyframe.keyframe_id] = self._use_tick
         self._version += 1
 
     def add_mappoint(self, point: MapPoint) -> None:
@@ -251,6 +300,7 @@ class SlamMap:
                 point.remove_observation(keyframe_id)
         if self.covisibility.has_node(keyframe_id):
             self.covisibility.remove_node(keyframe_id)
+        self._kf_last_use.pop(keyframe_id, None)
         self._version += 1
 
     def remove_mappoint(self, point_id: int) -> None:
@@ -261,7 +311,9 @@ class SlamMap:
             kf = self.keyframes.get(kf_id)
             if kf is not None:
                 kf.point_ids[kf.point_ids == point_id] = -1
-        self.touch()
+        self._version += 1
+        if not self._packed_dirty:
+            self._packed.remove(point_id)
 
     def replace_mappoint(self, old_id: int, new_id: int) -> None:
         """Fuse ``old_id`` into ``new_id`` (duplicate landmarks after merge)."""
@@ -275,12 +327,160 @@ class SlamMap:
             kf = self.keyframes.get(kf_id)
             if kf is None:
                 continue
-            kf.point_ids[kf.point_ids == old_id] = new_id
-            new.add_observation(kf_id, feat_idx)
+            if kf_id in new.observations or new_id in kf.point_ids:
+                # The keyframe already observes the winning point through
+                # another feature.  Relabeling would leave two feature
+                # slots aliasing one landmark while ``observations``
+                # keeps a single index — covisibility weights and BA
+                # observation counts would double-count it.  The losing
+                # slot reverts to unmatched instead.
+                kf.point_ids[kf.point_ids == old_id] = -1
+            else:
+                kf.point_ids[kf.point_ids == old_id] = new_id
+                new.add_observation(kf_id, feat_idx)
         new.times_visible += old.times_visible
         new.times_found += old.times_found
         del self.mappoints[old_id]
-        self.touch()
+        self._version += 1
+        if not self._packed_dirty:
+            self._packed.remove(old_id)
+
+    # -------------------------------------------------------------- eviction
+    def touch_keyframe(self, keyframe_id: int) -> None:
+        """Record a use of ``keyframe_id`` for LRU eviction ordering.
+
+        Tracking references, covisibility walks and BA windows call this
+        so that actively used keyframes stay resident even when their
+        covisibility degree is low.
+        """
+        if keyframe_id in self.keyframes:
+            self._use_tick += 1
+            self._kf_last_use[keyframe_id] = self._use_tick
+
+    def _eviction_order(self, candidates: List[int]) -> List[int]:
+        """Least-covisible, least-recently-used first."""
+
+        def score(kf_id: int):
+            if self.covisibility.has_node(kf_id):
+                weight = sum(
+                    data.get("weight", 0)
+                    for data in self.covisibility[kf_id].values()
+                )
+            else:
+                weight = 0
+            return (weight, self._kf_last_use.get(kf_id, 0), kf_id)
+
+        return sorted(candidates, key=score)
+
+    def _evict_keyframe(self, keyframe_id: int) -> None:
+        kf = self.keyframes.get(keyframe_id)
+        if kf is None:
+            return
+        observed = [int(pid) for pid in kf.observed_point_ids()]
+        self.remove_keyframe(keyframe_id)
+        self._evicted_keyframes.append(keyframe_id)
+        # Points whose last observer just left would survive as anchorless
+        # landmarks: pose-graph correction could no longer re-anchor them
+        # and merge fusion would weld against stale geometry.  They leave
+        # with their keyframe.
+        for pid in observed:
+            point = self.mappoints.get(pid)
+            if point is not None and point.n_observations == 0:
+                self.remove_mappoint(pid)
+                self._evicted_points.append(pid)
+
+    def evict_keyframes(
+        self,
+        max_keyframes: int,
+        protect: Iterable[int] = (),
+    ) -> List[int]:
+        """Evict keyframes down to ``max_keyframes``; returns evicted ids.
+
+        Victims are the least-covisible (lowest summed edge weight),
+        least-recently-used keyframes.  Each client's newest keyframe is
+        always protected — it is the tracking reference the client's
+        next frame localizes against — as is anything in ``protect``.
+        Points observed only by an evicted keyframe are removed with it,
+        which keeps the pose-graph invariant that every surviving point
+        has at least one surviving observer.
+        """
+        excess = self.n_keyframes - max_keyframes
+        if excess <= 0:
+            return []
+        protected = set(protect)
+        newest: Dict[int, int] = {}
+        for kf_id, kf in self.keyframes.items():
+            tick = self._kf_last_use.get(kf_id, 0)
+            current = newest.get(kf.client_id)
+            if current is None or tick > self._kf_last_use.get(current, 0):
+                newest[kf.client_id] = kf_id
+        protected |= set(newest.values())
+        candidates = [k for k in self.keyframes if k not in protected]
+        evicted = self._eviction_order(candidates)[:excess]
+        for kf_id in evicted:
+            self._evict_keyframe(kf_id)
+        return evicted
+
+    def compact_mappoints(
+        self,
+        max_mappoints: int,
+        protect: Iterable[int] = (),
+    ) -> List[int]:
+        """Remove the least-valuable points down to ``max_mappoints``.
+
+        Value order: points observed by fewer keyframes go first, ties
+        broken by lowest found ratio, then youngest id — long-established
+        well-observed landmarks are the drift anchors and leave last.
+        """
+        excess = self.n_mappoints - max_mappoints
+        if excess <= 0:
+            return []
+        protected = set(int(pid) for pid in protect)
+
+        def score(pid: int):
+            point = self.mappoints[pid]
+            return (point.n_observations, point.found_ratio(), -pid)
+
+        candidates = sorted(
+            (pid for pid in self.mappoints if pid not in protected), key=score
+        )
+        doomed = candidates[:excess]
+        for pid in doomed:
+            self.remove_mappoint(pid)
+            self._evicted_points.append(pid)
+        return doomed
+
+    def enforce_budgets(
+        self,
+        max_keyframes: Optional[int] = None,
+        max_mappoints: Optional[int] = None,
+        protect_keyframes: Iterable[int] = (),
+        protect_points: Iterable[int] = (),
+    ) -> "Tuple[List[int], List[int]]":
+        """Apply both budgets; returns (evicted keyframe ids, point ids)."""
+        evicted_kfs: List[int] = []
+        evicted_points: List[int] = []
+        before = len(self._evicted_points)
+        if max_keyframes is not None:
+            evicted_kfs = self.evict_keyframes(
+                max_keyframes, protect=protect_keyframes
+            )
+        if max_mappoints is not None:
+            self.compact_mappoints(max_mappoints, protect=protect_points)
+        evicted_points = self._evicted_points[before:]
+        return evicted_kfs, evicted_points
+
+    def drain_evictions(self) -> "Tuple[List[int], List[int]]":
+        """Hand off (and clear) the evicted-entity backlog.
+
+        The serving layer calls this after each frame to mirror map
+        evictions into the shared store (tombstones) and the BoW
+        database; draining is what keeps store bytes bounded rather than
+        merely the in-process map.
+        """
+        kfs, self._evicted_keyframes = self._evicted_keyframes, []
+        points, self._evicted_points = self._evicted_points, []
+        return kfs, points
 
     # ---------------------------------------------------------------- access
     @property
@@ -294,10 +494,30 @@ class SlamMap:
     def keyframes_of_client(self, client_id: int) -> List[KeyFrame]:
         return [kf for kf in self.keyframes.values() if kf.client_id == client_id]
 
-    def point_positions(self, point_ids: Iterable[int]) -> np.ndarray:
-        return np.array(
-            [self.mappoints[pid].position for pid in point_ids if pid in self.mappoints]
+    def point_positions(
+        self, point_ids: Iterable[int], strict: bool = False
+    ) -> "Tuple[np.ndarray, List[int]]":
+        """Positions for ``point_ids`` plus the ids that actually resolved.
+
+        Ids can go missing under the caller's feet (culling, fusion and
+        now eviction all delete points), so the matrix alone cannot be
+        assumed to line up row-for-row with the requested list.  The
+        surviving ids are returned alongside it; row ``i`` of the matrix
+        is the position of ``surviving[i]``.  With ``strict=True`` a
+        missing id raises instead of being skipped.
+        """
+        surviving = [int(pid) for pid in point_ids if int(pid) in self.mappoints]
+        if strict:
+            requested = [int(pid) for pid in point_ids]
+            if len(requested) != len(surviving):
+                missing = [p for p in requested if p not in self.mappoints]
+                raise KeyError(f"unknown map-point ids {missing}")
+        positions = (
+            np.array([self.mappoints[pid].position for pid in surviving])
+            if surviving
+            else np.zeros((0, 3), dtype=float)
         )
+        return positions, surviving
 
     def covisible_keyframes(self, keyframe_id: int, min_weight: int = 1) -> List[int]:
         """Keyframe ids sharing at least ``min_weight`` points, best first."""

@@ -126,6 +126,9 @@ class Tracker:
         if self.reference_keyframe_id is None:
             points: List = []
         else:
+            # Mark the tracking reference as in active use so LRU
+            # eviction never pulls the local map out from under us.
+            self.map.touch_keyframe(self.reference_keyframe_id)
             kf_ids = [self.reference_keyframe_id]
             kf_ids += self.map.covisible_keyframes(self.reference_keyframe_id)[
                 : self.config.covisible_neighbors

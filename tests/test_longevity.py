@@ -1,0 +1,456 @@
+"""Tests for long-lived maps: eviction, compaction, snapshot/restore."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.sharedmem import (
+    ShardedMapStore,
+    ShmShardedMapStore,
+    SnapshotError,
+    load_snapshot,
+    restore_into_store,
+    restore_map,
+    save_snapshot,
+)
+from repro.slam import KeyframeDatabase, SlamMap, default_vocabulary
+from repro.slam.mappoint import MapPoint
+from repro.slam.pose_graph import PoseGraphEdge, optimize_pose_graph
+from repro.vision.brief import DESCRIPTOR_BYTES
+from tests.test_net_serialization_transport import make_map
+
+
+def _share_points(slam_map, a_id, b_id, n):
+    """Make keyframe b observe the first n points of keyframe a."""
+    kf_a, kf_b = slam_map.keyframes[a_id], slam_map.keyframes[b_id]
+    for i in range(n):
+        pid = int(kf_a.point_ids[i])
+        old = int(kf_b.point_ids[i])
+        if old >= 0:
+            slam_map.mappoints[old].remove_observation(b_id)
+        kf_b.point_ids[i] = pid
+        slam_map.mappoints[pid].add_observation(b_id, i)
+    slam_map.rebuild_covisibility()
+
+
+# ----------------------------------------------------- packed swap-remove
+class TestPackedSwapRemove:
+    def test_remove_keeps_rows_aligned(self):
+        slam_map = make_map(n_keyframes=4, n_points_per_kf=8)
+        slam_map.packed_positions()  # force a clean packed build
+        pids = sorted(slam_map.mappoints)
+        doomed = pids[1::3]
+        for pid in doomed:
+            slam_map.remove_mappoint(pid)
+        positions = slam_map.packed_positions()
+        assert positions.shape == (slam_map.n_mappoints, 3)
+        rows = slam_map.lookup_point_rows(sorted(slam_map.mappoints))
+        assert (rows >= 0).all()
+        for pid, row in zip(sorted(slam_map.mappoints), rows):
+            assert np.array_equal(
+                positions[row], slam_map.mappoints[pid].position
+            )
+
+    def test_remove_matches_full_rebuild(self):
+        a = make_map(n_keyframes=3, n_points_per_kf=10, seed=3)
+        b = make_map(n_keyframes=3, n_points_per_kf=10, seed=3)
+        a.packed_positions()  # a removes incrementally, b rebuilds
+        doomed = sorted(a.mappoints)[::4]
+        for pid in doomed:
+            a.remove_mappoint(pid)
+            b.remove_mappoint(pid)
+        b.touch()
+        ids = sorted(a.mappoints)
+        pos_a, _ = a.gather_point_arrays(ids)
+        pos_b, _ = b.gather_point_arrays(ids)
+        assert np.array_equal(pos_a, pos_b)
+
+
+# --------------------------------------------------- replace_mappoint fix
+class TestReplaceMappointDedup:
+    def test_duplicate_observation_slot_cleared(self):
+        slam_map = make_map(n_keyframes=1, n_points_per_kf=6)
+        kf = next(iter(slam_map.keyframes.values()))
+        old_id, new_id = int(kf.point_ids[0]), int(kf.point_ids[1])
+        n_obs_before = slam_map.mappoints[new_id].n_observations
+        slam_map.replace_mappoint(old_id, new_id)
+        # The keyframe already observed the replacement: the losing slot
+        # must clear rather than alias two features to one point.
+        assert int(kf.point_ids[0]) == -1
+        assert int(kf.point_ids[1]) == new_id
+        assert slam_map.mappoints[new_id].n_observations == n_obs_before
+        assert old_id not in slam_map.mappoints
+
+    def test_distinct_observers_relabel(self):
+        slam_map = make_map(n_keyframes=2, n_points_per_kf=4)
+        kfs = sorted(slam_map.keyframes)
+        kf_a = slam_map.keyframes[kfs[0]]
+        old_id = int(kf_a.point_ids[0])
+        # The replacement lives in the other keyframe only.
+        new_id = int(slam_map.keyframes[kfs[1]].point_ids[0])
+        slam_map.replace_mappoint(old_id, new_id)
+        assert int(kf_a.point_ids[0]) == new_id
+        assert kfs[0] in slam_map.mappoints[new_id].observations
+
+
+# --------------------------------------------------- point_positions fix
+class TestPointPositions:
+    def test_returns_surviving_ids(self):
+        slam_map = make_map(n_keyframes=1, n_points_per_kf=5)
+        pids = sorted(slam_map.mappoints)
+        slam_map.remove_mappoint(pids[2])
+        positions, surviving = slam_map.point_positions(pids)
+        assert surviving == [p for p in pids if p != pids[2]]
+        assert positions.shape == (len(surviving), 3)
+        for row, pid in enumerate(surviving):
+            assert np.array_equal(
+                positions[row], slam_map.mappoints[pid].position
+            )
+
+    def test_strict_raises_on_missing(self):
+        slam_map = make_map(n_keyframes=1, n_points_per_kf=3)
+        pids = sorted(slam_map.mappoints)
+        slam_map.remove_mappoint(pids[0])
+        with pytest.raises(KeyError):
+            slam_map.point_positions(pids, strict=True)
+
+    def test_empty_request(self):
+        slam_map = make_map(n_keyframes=1, n_points_per_kf=2)
+        positions, surviving = slam_map.point_positions([])
+        assert positions.shape == (0, 3)
+        assert surviving == []
+
+
+# ------------------------------------------------------------- eviction
+class TestEviction:
+    def test_budget_enforced_and_protected_survive(self):
+        slam_map = make_map(n_keyframes=6, n_points_per_kf=5)
+        kfs = sorted(slam_map.keyframes)
+        slam_map.touch_keyframe(kfs[0])
+        evicted = slam_map.evict_keyframes(3, protect=[kfs[2]])
+        assert slam_map.n_keyframes == 3
+        assert kfs[2] in slam_map.keyframes
+        # The newest keyframe per client (here: the touched one last?)
+        # -- the most recently *used* keyframe is the tracking reference.
+        assert kfs[0] in slam_map.keyframes
+        assert set(evicted).isdisjoint(slam_map.keyframes)
+
+    def test_least_covisible_goes_first(self):
+        slam_map = make_map(n_keyframes=4, n_points_per_kf=6)
+        kfs = sorted(slam_map.keyframes)
+        # kfs[0] <-> kfs[1] strongly covisible; kfs[2] isolated.
+        _share_points(slam_map, kfs[0], kfs[1], 4)
+        for k in kfs:
+            slam_map.touch_keyframe(k)
+        slam_map.touch_keyframe(kfs[2])  # recently used but isolated
+        evicted = slam_map.evict_keyframes(3)
+        assert evicted and evicted[0] not in (kfs[0], kfs[1])
+
+    def test_orphan_points_leave_with_keyframe(self):
+        slam_map = make_map(n_keyframes=3, n_points_per_kf=5)
+        kfs = sorted(slam_map.keyframes)
+        victim = kfs[0]
+        orphan_pids = [int(p) for p in
+                       slam_map.keyframes[victim].observed_point_ids()]
+        slam_map.touch_keyframe(kfs[1])
+        slam_map.touch_keyframe(kfs[2])
+        slam_map.evict_keyframes(2)
+        assert victim not in slam_map.keyframes
+        for pid in orphan_pids:
+            assert pid not in slam_map.mappoints
+        # Pose-graph invariant: every surviving point has an observer.
+        for point in slam_map.mappoints.values():
+            assert point.n_observations > 0
+            assert all(k in slam_map.keyframes for k in point.observations)
+
+    def test_drain_evictions_hands_off_and_clears(self):
+        slam_map = make_map(n_keyframes=4, n_points_per_kf=4)
+        slam_map.enforce_budgets(max_keyframes=2, max_mappoints=6)
+        kfs, pts = slam_map.drain_evictions()
+        assert kfs and pts
+        assert slam_map.drain_evictions() == ([], [])
+
+    def test_pose_graph_runs_after_eviction(self):
+        slam_map = make_map(n_keyframes=5, n_points_per_kf=5)
+        kfs = sorted(slam_map.keyframes)
+        slam_map.evict_keyframes(3)
+        survivors = sorted(slam_map.keyframes)
+        edges = [
+            PoseGraphEdge(
+                a, b,
+                slam_map.keyframes[a].pose_cw
+                * slam_map.keyframes[b].pose_cw.inverse(),
+                weight=10.0,
+            )
+            for a, b in zip(survivors, survivors[1:])
+        ]
+        # Evicted keyframes must be filtered from the edge set by the
+        # caller; the optimizer then runs cleanly on the survivors.
+        assert all(
+            a in slam_map.keyframes and b in slam_map.keyframes
+            for a, b in ((e.kf_a, e.kf_b) for e in edges)
+        )
+        optimize_pose_graph(slam_map, edges, fixed={survivors[0]})
+        assert sorted(slam_map.keyframes) == survivors
+        assert kfs[0] not in slam_map.keyframes or len(kfs) == len(survivors)
+
+    def test_covisibility_holds_no_evicted_nodes(self):
+        slam_map = make_map(n_keyframes=5, n_points_per_kf=6)
+        kfs = sorted(slam_map.keyframes)
+        _share_points(slam_map, kfs[0], kfs[1], 3)
+        _share_points(slam_map, kfs[2], kfs[3], 3)
+        evicted = slam_map.evict_keyframes(2)
+        for kf_id in evicted:
+            assert not slam_map.covisibility.has_node(kf_id)
+
+
+# ----------------------------------------------- store compaction (local)
+class TestLocalStoreCompaction:
+    def _populated(self):
+        slam_map = make_map(n_keyframes=4, n_points_per_kf=8)
+        store = ShardedMapStore(n_shards=2, capacity=4 * 1024 * 1024)
+        store.publish_map(
+            list(slam_map.keyframes.values()),
+            list(slam_map.mappoints.values()),
+        )
+        return slam_map, store
+
+    def test_compact_preserves_live_records(self):
+        slam_map, store = self._populated()
+        doomed = sorted(slam_map.mappoints)[::2]
+        for pid in doomed:
+            store.remove_mappoint(pid)
+        before = {pid: store.get_mappoint(pid).position.copy()
+                  for pid in store.mappoint_ids()}
+        store.compact()
+        assert sorted(store.mappoint_ids()) == sorted(before)
+        for pid, position in before.items():
+            assert np.array_equal(store.get_mappoint(pid).position, position)
+
+    def test_maybe_compact_respects_threshold(self):
+        _, store = self._populated()
+        # Utilization is far below 1.0: nothing should compact.
+        assert store.maybe_compact(utilization=1.0) == 0
+
+
+# ------------------------------------------- shm compaction + torn reads
+class TestShmCompaction:
+    def _probe_point(self, pid):
+        return MapPoint(
+            point_id=pid,
+            position=np.array([pid, 2.0 * pid, 3.0 * pid]),
+            descriptor=np.full(DESCRIPTOR_BYTES, pid % 251, dtype=np.uint8),
+        )
+
+    def _valid(self, point):
+        pid = point.point_id
+        return (
+            np.array_equal(point.position, [pid, 2.0 * pid, 3.0 * pid])
+            and bool(np.all(point.descriptor == pid % 251))
+        )
+
+    def test_compaction_reclaims_with_concurrent_readers(self):
+        store = ShmShardedMapStore.create(
+            n_shards=2, pack_capacity=512,
+            shard_slab_bytes=512 * 1024, lock_timeout_s=30.0,
+        )
+        torn, reads = [0], [0]
+        stop = threading.Event()
+        live = [self._probe_point(i) for i in range(64)]
+        try:
+            store.publish_map([], live)
+            live_ids = [p.point_id for p in live]
+
+            def reader():
+                rng = np.random.default_rng(1)
+                while not stop.is_set():
+                    pid = int(rng.choice(live_ids))
+                    point = store.get_mappoint(pid)
+                    if point is None:
+                        continue
+                    reads[0] += 1
+                    if not self._valid(point):
+                        torn[0] += 1
+
+            threads = [threading.Thread(target=reader, daemon=True)
+                       for _ in range(2)]
+            for t in threads:
+                t.start()
+            reclaimed = 0
+            next_pid = len(live)
+            for _ in range(4):
+                fresh = [self._probe_point(next_pid + i) for i in range(64)]
+                next_pid += 64
+                store.publish_map([], fresh)
+                for pid in live_ids[: len(live_ids) // 2]:
+                    store.remove_mappoint(pid)
+                live_ids = (live_ids[len(live_ids) // 2:]
+                            + [p.point_id for p in fresh])
+                reclaimed += store.compact()
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert reclaimed > 0
+            assert torn[0] == 0
+            assert sorted(store.mappoint_ids()) == sorted(live_ids)
+            for pid in live_ids:
+                assert self._valid(store.get_mappoint(pid))
+        finally:
+            stop.set()
+            store.close()
+            store.unlink()
+
+    def test_second_attachment_rescans_after_compaction(self):
+        store = ShmShardedMapStore.create(
+            n_shards=1, pack_capacity=256,
+            shard_slab_bytes=256 * 1024, lock_timeout_s=30.0,
+        )
+        try:
+            other = ShmShardedMapStore.attach(store.handle())
+            points = [self._probe_point(i) for i in range(10)]
+            store.publish_map([], points)
+            assert len(other.mappoint_ids()) == 10  # warm other's index
+            for pid in range(5):
+                store.remove_mappoint(pid)
+            assert store.compact() > 0
+            # The epoch bump forces the second attachment to rescan the
+            # rewritten log rather than trust stale offsets.
+            survivors = sorted(other.mappoint_ids())
+            assert survivors == list(range(5, 10))
+            for pid in survivors:
+                assert self._valid(other.get_mappoint(pid))
+            other.close()
+        finally:
+            store.close()
+            store.unlink()
+
+
+# ------------------------------------------------------ snapshot/restore
+class TestSnapshotRoundTrip:
+    def _store_with_map(self):
+        slam_map = make_map(n_keyframes=4, n_points_per_kf=6)
+        store = ShardedMapStore(n_shards=3, capacity=4 * 1024 * 1024)
+        store.publish_map(
+            list(slam_map.keyframes.values()),
+            list(slam_map.mappoints.values()),
+        )
+        return slam_map, store
+
+    def test_roundtrip_restores_entities(self, tmp_path):
+        slam_map, store = self._store_with_map()
+        path = str(tmp_path / "map.snap")
+        info = save_snapshot(store, path)
+        assert info.n_keyframes == slam_map.n_keyframes
+        assert info.n_mappoints == slam_map.n_mappoints
+        snap = load_snapshot(path)
+        fresh_store = ShardedMapStore(n_shards=3, capacity=4 * 1024 * 1024)
+        restore_into_store(snap, fresh_store)
+        assert sorted(fresh_store.keyframe_ids()) == sorted(slam_map.keyframes)
+        fresh_map = SlamMap()
+        database = KeyframeDatabase(default_vocabulary())
+        restore_map(snap, fresh_map, database)
+        assert sorted(fresh_map.keyframes) == sorted(slam_map.keyframes)
+        assert sorted(fresh_map.mappoints) == sorted(slam_map.mappoints)
+        for kf_id, kf in slam_map.keyframes.items():
+            restored = fresh_map.keyframes[kf_id]
+            assert np.allclose(restored.pose_cw.matrix(), kf.pose_cw.matrix())
+            assert restored.bow_vector == pytest.approx(kf.bow_vector)
+        for point in slam_map.mappoints.values():
+            observed = fresh_map.mappoints[point.point_id]
+            assert np.array_equal(observed.position, point.position)
+            assert observed.observations == point.observations
+
+    def test_filter_keeps_private_entities_out(self, tmp_path):
+        slam_map, store = self._store_with_map()
+        keep_kfs = sorted(slam_map.keyframes)[:2]
+        keep_pts = sorted(slam_map.mappoints)[:5]
+        path = str(tmp_path / "filtered.snap")
+        save_snapshot(store, path, keyframe_ids=keep_kfs,
+                      mappoint_ids=keep_pts)
+        snap = load_snapshot(path)
+        assert sorted(kf.keyframe_id for kf in snap.keyframes) == keep_kfs
+        assert sorted(p.point_id for p in snap.mappoints) == keep_pts
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError):
+            load_snapshot(str(tmp_path / "nope"))
+
+    def test_corrupt_shard_rejected(self, tmp_path):
+        _, store = self._store_with_map()
+        path = str(tmp_path / "corrupt.snap")
+        save_snapshot(store, path)
+        shard_file = next(
+            f for f in sorted(os.listdir(path))
+            if f.startswith("shard-") and os.path.getsize(
+                os.path.join(path, f))
+        )
+        with open(os.path.join(path, shard_file), "r+b") as fh:
+            fh.seek(20)
+            fh.write(b"\xff\xff")
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        _, store = self._store_with_map()
+        path = str(tmp_path / "versioned.snap")
+        save_snapshot(store, path)
+        manifest_path = os.path.join(path, "MANIFEST.json")
+        with open(manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        manifest["version"] = 99
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_save_is_atomic_replace(self, tmp_path):
+        slam_map, store = self._store_with_map()
+        path = str(tmp_path / "atomic.snap")
+        save_snapshot(store, path)
+        first = load_snapshot(path).info
+        # Second save lands over the first without leaving tmp debris.
+        save_snapshot(store, path)
+        assert not os.path.exists(path + ".tmp")
+        assert load_snapshot(path).info.n_keyframes == first.n_keyframes
+
+
+class TestMultiSessionRelocalization:
+    def test_restored_client_relocalizes(self, tmp_path):
+        from repro.core import (
+            ClientScenario,
+            SlamShareConfig,
+            SlamShareSession,
+        )
+        from repro.datasets import make_dataset
+
+        snap_path = str(tmp_path / "session.snap")
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        config.serving.snapshot_path = snap_path
+        scenario = ClientScenario(
+            client_id=0,
+            dataset=make_dataset("MH04", duration=8.0, rate=10.0),
+            start_time=0.0, oracle_seed=7, imu_seed=8,
+        )
+        SlamShareSession([scenario], config, ate_sample_interval=1.0).run()
+        info = load_snapshot(snap_path).info
+        assert info.n_keyframes > 0
+
+        config2 = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        config2.serving.restore_path = snap_path
+        fresh = ClientScenario(
+            client_id=4,
+            dataset=make_dataset("MH04", duration=6.0, rate=10.0),
+            start_time=0.0, oracle_seed=21, imu_seed=22,
+        )
+        session = SlamShareSession([fresh], config2, ate_sample_interval=1.0)
+        # The restored map preloads before the client joins...
+        assert session.server.global_map.n_keyframes == info.n_keyframes
+        result = session.run()
+        # ...so the fresh client goes through place recognition and
+        # merges instead of starting the map.
+        merges = [m for m in result.merges if m.client_id == 4]
+        assert merges, "fresh client did not relocalize into restored map"
+        assert result.client_ate(4).rmse < 0.15

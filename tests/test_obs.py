@@ -242,6 +242,30 @@ class TestHistogram:
         assert hist.percentile(0.0) == 0.0 or hist.min == pytest.approx(1e-6)
         assert hist.percentile(1.0) == pytest.approx(1e6, rel=0.10)
 
+    def test_percentile_zero_all_nonzero_is_min(self, metrics):
+        # Regression: q=0 with no zero-bucket samples used to report 0.0
+        # even though 0.0 was never observed; it must be the observed min.
+        hist = metrics.histogram("t.q0.nonzero")
+        for v in (3.0, 8.0, 12.0):
+            hist.record(v)
+        assert hist.percentile(0.0) == pytest.approx(3.0)
+
+    def test_percentile_zero_with_zero_samples(self, metrics):
+        hist = metrics.histogram("t.q0.zeros")
+        hist.record(0.0)
+        hist.record(5.0)
+        assert hist.percentile(0.0) == 0.0
+
+    def test_zero_bucket_covers_low_quantiles_only(self, metrics):
+        # 1 zero in 10 samples: q=0.1 is still inside the zero bucket,
+        # q=0.5 must come from the real buckets.
+        hist = metrics.histogram("t.q0.mixed")
+        hist.record(0.0)
+        for _ in range(9):
+            hist.record(100.0)
+        assert hist.percentile(0.1) == 0.0
+        assert hist.percentile(0.5) == pytest.approx(100.0, rel=0.10)
+
 
 class TestRegistry:
     def test_get_or_create_idempotent(self, metrics):
