@@ -12,6 +12,16 @@ from .config import (
     MergeCostModel,
     ServingConfig,
     SlamShareConfig,
+    mobile_cpu_model,
+)
+from .offload import (
+    PLACEMENT_CLIENT,
+    PLACEMENT_SERVER,
+    HandoffRecord,
+    OffloadConfig,
+    OffloadController,
+    OffloadManager,
+    PlacementDecision,
 )
 from .orchestrator import (
     Orchestrator,
@@ -43,12 +53,19 @@ __all__ = [
     "ClientOutcome",
     "ClientScenario",
     "FrameUpload",
+    "HandoffRecord",
     "Hologram",
     "HologramRegistry",
     "MergeCostModel",
     "MergeEvent",
+    "OffloadConfig",
+    "OffloadController",
+    "OffloadManager",
     "Orchestrator",
     "OrchestratorConfig",
+    "PLACEMENT_CLIENT",
+    "PLACEMENT_SERVER",
+    "PlacementDecision",
     "ServerFrameResult",
     "ServingConfig",
     "ServingOrchestrator",
@@ -60,6 +77,7 @@ __all__ = [
     "SlamShareServer",
     "SlamShareSession",
     "SyncRound",
+    "mobile_cpu_model",
     "perceived_position",
     "placement_error",
 ]

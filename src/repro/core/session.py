@@ -35,15 +35,23 @@ import numpy as np
 
 from ..datasets.registry import SyntheticDataset
 from ..geometry import SE3, Sim3, Trajectory
+from ..gpu.device import CpuCostModel, TrackingLatencyModel
 from ..gpu.scheduler import GpuScheduler
 from ..imu import GRAVITY_W, ImuBuffer, ImuDelta, preintegrate, synthesize_imu
 from ..metrics.ate import absolute_trajectory_error, associate
 from ..net import SimClock, connect
+from ..net.tc import ShapingProfile
 from ..obs import get_logger, get_metrics, get_tracer, kv
 from ..vision.render import render_frame
 from .client import SlamShareClient
 from .config import SlamShareConfig
 from .holograms import HologramRegistry
+from .offload import (
+    PLACEMENT_CLIENT,
+    PLACEMENT_SERVER,
+    OffloadManager,
+    PlacementDecision,
+)
 from .server import SlamShareServer
 
 _log = get_logger("core.session")
@@ -89,6 +97,12 @@ class ClientScenario:
     oracle_seed: int = 7
     imu_seed: int = 11
     offline_windows: Sequence[Tuple[float, float]] = ()
+    # Mixed fleets (adaptive offloading): a per-client link shaping
+    # profile (default: the session-wide config.shaping) and per-client
+    # device silicon for on-device tracking (default: the config-wide
+    # mobile-class model).
+    shaping: Optional[ShapingProfile] = None
+    device_cpu: Optional[CpuCostModel] = None
 
 
 @dataclass
@@ -113,6 +127,14 @@ class _PosePacket:
 
 
 @dataclass
+class _ProbePacket:
+    """Payload of one RTT ``probe`` / ``probe_ack`` round trip."""
+
+    client_id: int
+    sent_at: float
+
+
+@dataclass
 class MergeEvent:
     session_time: float
     client_id: int
@@ -125,6 +147,7 @@ class MergeEvent:
 class ClientOutcome:
     scenario: ClientScenario
     client: SlamShareClient
+    frames_captured: int = 0      # every frame the camera produced
     frames_processed: int = 0
     frames_lost: int = 0
     uplink_drops: int = 0         # frame uploads lost on the wire
@@ -132,10 +155,15 @@ class ClientOutcome:
     frames_recovered: int = 0     # deliveries that bridged a lost interval
     frames_offline: int = 0       # frames captured while disconnected
     frames_shed: int = 0          # deliveries shed by admission control
+    frames_local: int = 0         # frames tracked on-device (offloading)
+    frames_degraded: int = 0      # overload sheds degraded to local tracking
+    frames_superseded: int = 0    # in-flight frames a handoff overtook
+    handoffs: int = 0             # committed placement migrations
     disconnects: int = 0
     rejoins: int = 0
     pose_rtts_ms: List[float] = field(default_factory=list)
     tracking_latencies_ms: List[float] = field(default_factory=list)
+    local_latencies_ms: List[float] = field(default_factory=list)
 
     def display_trajectory(self) -> Trajectory:
         return self.client.displayed_trajectory()
@@ -153,6 +181,10 @@ class SessionResult:
     # series below, these still see unmerged fragments in their private
     # frames, so the pre-merge ATE spikes are visible.
     live_global_ate: List[Tuple[float, float]] = field(default_factory=list)
+    # Offload ledger: the session's OffloadManager with every committed /
+    # aborted handoff and per-client controllers (None when the session
+    # predates the offload wiring).
+    offload: Optional[OffloadManager] = None
 
     def client_ate(self, client_id: int, use_display: bool = False):
         outcome = self.outcomes[client_id]
@@ -264,6 +296,12 @@ class SlamShareSession:
         # Optional SLO engine (repro.obs.slo): fed frame RTTs, shed
         # indicators and ATE samples when attached; None costs nothing.
         self.slo = None
+        # Adaptive offloading: one controller per client, a shared
+        # handoff ledger.  Under the default static-server policy no
+        # probes are scheduled and no handoff ever fires, so behavior
+        # is identical to the pre-offload session.
+        self.offload = OffloadManager(self.config.serving.offload)
+        self._end_time = 0.0
 
     # -------------------------------------------------------------- setup
     def _setup_client(self, scenario: ClientScenario) -> Dict[str, Any]:
@@ -277,7 +315,8 @@ class SlamShareSession:
             scenario.client_id, self.config, SE3.identity(), gravity_map
         )
         self.server.add_client(scenario.client_id, gravity_map)
-        link = self.config.shaping.build(self.clock, seed=50 + scenario.client_id)
+        shaping = scenario.shaping or self.config.shaping
+        link = shaping.build(self.clock, seed=50 + scenario.client_id)
         device_ep, server_ep = connect(
             f"device-{scenario.client_id}", "edge-server", self.clock, link,
             arq=self.config.reliability,
@@ -295,21 +334,39 @@ class SlamShareSession:
             )
         )
         self.outcomes[scenario.client_id] = ClientOutcome(scenario, client)
+        controller = self.offload.controller(scenario.client_id)
         state: Dict[str, Any] = {
             "client": client,
             "oracle": oracle,
             "imu": imu,
             "scenario": scenario,
             "prev_ts": None,          # last frame the *client* captured
-            "imu_anchor_ts": None,    # last frame the *server* received
+            "imu_anchor_ts": None,    # last frame the *tracker* received
             "frame_no": 0,
             "connected": True,
+            # --- adaptive offloading
+            "placement": controller.placement,
+            "handoff_inflight": False,
+            "device_model": TrackingLatencyModel(
+                cpu=scenario.device_cpu or self.config.client_cpu_model
+            ),
         }
         self._per_client[scenario.client_id] = state
         # Session traffic flows through the endpoint layer so transport
         # metrics (net.messages_sent / bytes / latency) see it.
         server_ep.on("frame", self._make_server_frame_handler(state))
         device_ep.on("pose", self._make_client_pose_handler(state))
+        # Offload control plane.  Probes measure the link RTT even while
+        # tracking runs on-device (pose round trips stop under client
+        # placement, so the controller would otherwise fly blind);
+        # map_sync carries keyframe publications up from a locally
+        # tracking client; handoff commits a placement flip at reliable
+        # delivery on the receiving side.
+        server_ep.on("probe", self._make_probe_echo(state))
+        device_ep.on("probe_ack", self._make_probe_ack_handler(state))
+        server_ep.on("map_sync", lambda message: None)
+        server_ep.on("handoff", self._make_handoff_commit(state))
+        device_ep.on("handoff", self._make_handoff_commit(state))
         return state
 
     # ---------------------------------------------------------------- run
@@ -339,6 +396,25 @@ class SlamShareSession:
                 )
         events.sort()
         end_time = events[-1][0] if events else 0.0
+        self._end_time = end_time
+
+        # Close the observability loop: SLO breach/recover edges feed
+        # every offload controller (no-op under static policies).
+        if self.slo is not None:
+            self.offload.attach_slo(self.slo)
+        # RTT probes are scheduled up front at fixed times — the clock
+        # drains *all* events, so self-rescheduling probes would spin
+        # the run forever.  Static policies send no probes at all.
+        if self.config.serving.offload.is_adaptive:
+            interval = self.config.serving.offload.probe_interval_s
+            for scenario in self.scenarios:
+                t = scenario.start_time + interval
+                while t < end_time:
+                    self.clock.schedule_at(
+                        t,
+                        lambda cid=scenario.client_id: self._send_probe(cid),
+                    )
+                    t += interval
 
         for session_time, client_id, frame_idx, dataset_ts in events:
             state = self._per_client[client_id]
@@ -385,6 +461,7 @@ class SlamShareSession:
             holograms=self.holograms,
             duration=end_time,
             live_global_ate=self.live_global_ate,
+            offload=self.offload,
         )
 
     def _sample_global_ate(self) -> None:
@@ -440,7 +517,11 @@ class SlamShareSession:
         if state["prev_ts"] is not None:
             client_delta = preintegrate(state["imu"], state["prev_ts"], dataset_ts)
         pixels = None
-        if self.config.render_video_frames:
+        local = state["placement"] == PLACEMENT_CLIENT
+        if self.config.render_video_frames and not local:
+            # Under client placement nothing is uploaded, so no video is
+            # encoded — that bandwidth saving is half the point of
+            # tracking on-device.
             pixels = render_frame(
                 dataset.world.positions,
                 dataset.world.ids,
@@ -453,6 +534,7 @@ class SlamShareSession:
         state["prev_ts"] = dataset_ts
         frame_no = state["frame_no"]
         state["frame_no"] += 1
+        outcome.frames_captured += 1
 
         if not state["connected"]:
             # Radio off: the device keeps dead-reckoning on IMU for its
@@ -498,7 +580,14 @@ class SlamShareSession:
         ctx = _tracer.open_trace(
             "frame.lifecycle", tid=f"client-{scenario.client_id}",
             client_id=scenario.client_id, frame=frame_no,
+            placement=state["placement"],
         )
+
+        if local:
+            # Tracking currently lives on this device: no uplink at all,
+            # the frame goes straight into the migrated front-end.
+            self._track_locally(state, packet, ctx)
+            return
 
         def on_uplink_dropped(message) -> None:
             outcome.uplink_drops += 1
@@ -524,6 +613,17 @@ class SlamShareSession:
                 _tracer.close_trace(ctx, status="parked")
                 return
             packet: _FramePacket = message.payload
+            # A server->client handoff committed while this frame was in
+            # flight.  If a locally tracked frame already overtook it the
+            # tracker's timeline has moved past it — skip it (its IMU
+            # interval folds into the next local delta, so continuity
+            # holds); otherwise it is still the newest frame and tracking
+            # it server-side is both safe and gap-free.
+            anchor = state["imu_anchor_ts"]
+            if anchor is not None and packet.dataset_ts <= anchor + 1e-12:
+                outcome.frames_superseded += 1
+                _tracer.close_trace(ctx, status="superseded")
+                return
             # Admission control: shed stale or over-queue frames before
             # spending any tracking compute on them.  The IMU anchor is
             # left untouched, so the next admitted frame's delta bridges
@@ -536,14 +636,27 @@ class SlamShareSession:
                     age_s=self.clock.now - packet.captured_at,
                 )
                 admission_span.set(decision=admit)
+            controller = self.offload.controller(scenario.client_id)
+            controller.observe_admission(admit == "ok", self.clock.now)
             if self.slo is not None:
                 self.slo.observe(
                     "frames.shed_rate", 0.0 if admit == "ok" else 1.0
                 )
+            if admit == "overload" and controller.config.is_adaptive:
+                # Graceful degradation: instead of discarding the frame,
+                # run it through the device front-end.  The admission
+                # queue stays bounded and the client keeps fresh poses —
+                # overload now costs latency, not continuity.
+                outcome.frames_degraded += 1
+                self.offload.note_degraded()
+                self._track_locally(state, packet, ctx, degraded=True)
+                self._evaluate_offload(scenario.client_id)
+                return
             if admit != "ok":
                 outcome.frames_shed += 1
                 _frames_shed_total.inc()
                 _tracer.close_trace(ctx, status=admit)
+                self._evaluate_offload(scenario.client_id)
                 return
             if packet.bridged_s > 0:
                 # This delivery's delta recovered intervals lost upstream.
@@ -609,6 +722,7 @@ class SlamShareSession:
             self.scheduler.submit(
                 scenario.client_id, track_s, on_done=finish_frame, trace=ctx
             )
+            self._evaluate_offload(scenario.client_id)
 
         return on_frame
 
@@ -634,8 +748,236 @@ class SlamShareSession:
             if self.slo is not None:
                 self.slo.observe("frame.p95_ms", rtt_ms)
                 self.slo.maybe_evaluate()
+            cid = state["scenario"].client_id
+            self.offload.controller(cid).observe_rtt(rtt_ms, self.clock.now)
+            self._evaluate_offload(cid)
 
         return on_pose
+
+    # ---------------------------------------------------- adaptive offload
+    def _track_locally(self, state, packet: _FramePacket, ctx,
+                       degraded: bool = False) -> None:
+        """Run one frame through the migrated on-device front-end.
+
+        The per-client SLAM process is conceptually *on the device* now
+        (or, for ``degraded`` overload sheds, borrowed for this frame):
+        tracking latency comes from the device CPU model, no admission
+        slot or GPU dispatch is involved, and the pose reaches the
+        display after that local latency with zero network hops.
+        Keyframe publications still belong to the shared global map, so
+        their bytes are charged to the uplink as a reliable ``map_sync``
+        transfer.
+        """
+        scenario: ClientScenario = state["scenario"]
+        client: SlamShareClient = state["client"]
+        outcome = self.outcomes[scenario.client_id]
+        if packet.bridged_s > 0:
+            outcome.frames_recovered += 1
+            _frames_recovered.inc()
+            _gap_hist.record(packet.bridged_s * 1e3)
+        anchor = state["imu_anchor_ts"]
+        state["imu_anchor_ts"] = (
+            packet.dataset_ts if anchor is None
+            else max(anchor, packet.dataset_ts)
+        )
+        result = self.server.process_frame(
+            scenario.client_id, packet.dataset_ts, packet.observations,
+            imu_delta=packet.imu_delta, trace_ctx=ctx,
+            placement=PLACEMENT_CLIENT, device_model=state["device_model"],
+        )
+        outcome.frames_processed += 1
+        if degraded:
+            pass  # counted by the caller (frames_degraded)
+        else:
+            outcome.frames_local += 1
+            self.offload.note_local_frame()
+        if not result.tracking_success:
+            outcome.frames_lost += 1
+        outcome.tracking_latencies_ms.append(result.latency.total)
+        outcome.local_latencies_ms.append(result.latency.total)
+        # On-device full-SLAM work hits the device CPU budget.
+        client.cpu.add_full_slam_frame(
+            int(self.config.slam.tracker.image_pixels),
+            len(packet.observations),
+        )
+        if result.merge is not None:
+            self.merges.append(
+                MergeEvent(
+                    session_time=self.clock.now,
+                    client_id=scenario.client_id,
+                    merge_ms=result.merge_ms,
+                    n_fused_points=result.merge.n_fused_points,
+                    transform=result.merge.transform,
+                )
+            )
+            client.apply_merge_transform(
+                result.merge.transform,
+                result.merge.transform.rotation @ client.motion_model.gravity,
+            )
+        if result.store_bytes_written > 0 and state["connected"]:
+            # The published keyframe must still reach the shared store:
+            # under client placement that costs uplink bytes (reliable —
+            # map data, unlike a stale frame, is worth retransmitting).
+            device_ep, _ = self._endpoints[scenario.client_id]
+            device_ep.send(
+                "map_sync", result.store_bytes_written, reliable=True,
+            )
+        if result.pose_cw is None:
+            _tracer.close_trace(ctx, status="no_pose")
+            return
+        pose = result.pose_cw
+        latency_s = result.latency.total / 1e3
+        frame_no = packet.frame_no
+        captured_at = packet.captured_at
+
+        def finish_local() -> None:
+            if not state["connected"]:
+                _tracer.close_trace(ctx, status="offline")
+                return
+            client.receive_server_pose(frame_no, pose)
+            rtt_ms = (self.clock.now - captured_at) * 1e3
+            outcome.pose_rtts_ms.append(rtt_ms)
+            _pose_rtt_hist.record(
+                rtt_ms, trace_id=ctx.trace_id if ctx else None
+            )
+            _tracer.close_trace(
+                ctx, status="complete", rtt_ms=rtt_ms,
+                placement=PLACEMENT_CLIENT,
+            )
+            if self.slo is not None:
+                self.slo.observe("frame.p95_ms", rtt_ms)
+                self.slo.maybe_evaluate()
+            controller = self.offload.controller(scenario.client_id)
+            controller.observe_local_ms(result.latency.total, self.clock.now)
+            self._evaluate_offload(scenario.client_id)
+
+        self.clock.schedule(latency_s, finish_local)
+
+    def _evaluate_offload(self, client_id: int) -> None:
+        """Ask the client's controller whether tracking should move."""
+        if not self.config.serving.offload.is_adaptive:
+            return
+        state = self._per_client[client_id]
+        if not state["connected"] or state["handoff_inflight"]:
+            return
+        controller = self.offload.controller(client_id)
+        decision = controller.decide(self.clock.now, self.server.load())
+        if decision is not None:
+            self._initiate_handoff(state, decision)
+
+    def _initiate_handoff(self, state, decision: PlacementDecision) -> None:
+        """Send the reliable handoff message that migrates tracking.
+
+        The sender is whichever side currently owns tracking (it ships
+        its state); the flip commits on the *receiving* side at ARQ
+        delivery, so frames captured while the message is in flight keep
+        flowing on the old placement and nothing is dropped.  If the
+        message hits the retry cap the migration aborts and the cooldown
+        still arms, so a dead link is not hammered with attempts.
+        """
+        cid = decision.client_id
+        record = self.offload.begin_handoff(
+            decision, imu_anchor_ts=state["imu_anchor_ts"]
+        )
+        state["handoff_inflight"] = True
+        device_ep, server_ep = self._endpoints[cid]
+        sender = server_ep if decision.placement == PLACEMENT_CLIENT else device_ep
+
+        def on_dropped(message) -> None:
+            state["handoff_inflight"] = False
+            self.offload.abort_handoff(record, self.clock.now)
+
+        _log.info(
+            "handoff initiated: %s",
+            kv(client=cid, dst=decision.placement, reason=decision.reason,
+               t=self.clock.now),
+        )
+        sender.send(
+            "handoff", record.state_bytes, payload=(decision, record),
+            reliable=True, on_dropped=on_dropped,
+        )
+
+    def _make_handoff_commit(self, state):
+        """Receiver-side commit of one delivered ``handoff`` message."""
+
+        def on_handoff(message) -> None:
+            decision, record = message.payload
+            state["handoff_inflight"] = False
+            if not state["connected"]:
+                self.offload.abort_handoff(record, self.clock.now)
+                return
+            state["placement"] = decision.placement
+            # The migrated state carries the sender's IMU anchor; merge
+            # it so preintegration resumes from the newest frame either
+            # side has tracked — the anchor survives the migration.
+            if record.imu_anchor_ts is not None:
+                anchor = state["imu_anchor_ts"]
+                state["imu_anchor_ts"] = (
+                    record.imu_anchor_ts if anchor is None
+                    else max(anchor, record.imu_anchor_ts)
+                )
+            self.offload.commit_handoff(record, self.clock.now)
+            self.outcomes[decision.client_id].handoffs += 1
+
+        return on_handoff
+
+    def request_handoff(self, client_id: int, placement: str,
+                        reason: str = "manual") -> Optional[PlacementDecision]:
+        """Manually migrate one client's tracking (tests, operators).
+
+        Returns the decision if a handoff was initiated, or ``None``
+        when tracking is already at ``placement`` (or a migration is in
+        flight).  Works under any policy — manual moves bypass the
+        adaptive thresholds but still ride the same reliable handoff
+        message and cooldown bookkeeping.
+        """
+        if placement not in (PLACEMENT_SERVER, PLACEMENT_CLIENT):
+            raise ValueError(f"unknown placement {placement!r}")
+        state = self._per_client.get(client_id)
+        if state is None:
+            raise ValueError(f"unknown client {client_id}")
+        controller = self.offload.controller(client_id)
+        if state["handoff_inflight"] or controller.placement == placement:
+            return None
+        decision = PlacementDecision(client_id, placement, reason, self.clock.now)
+        self._initiate_handoff(state, decision)
+        return decision
+
+    def _send_probe(self, client_id: int) -> None:
+        """One link-RTT probe (adaptive policy only).
+
+        Pose round trips stop once tracking runs on-device, so without
+        probes the controller could never observe the link recovering.
+        """
+        state = self._per_client.get(client_id)
+        if state is None or not state["connected"]:
+            return
+        device_ep, _ = self._endpoints[client_id]
+        device_ep.send(
+            "probe", 64, payload=_ProbePacket(client_id, self.clock.now),
+        )
+
+    def _make_probe_echo(self, state):
+        def on_probe(message) -> None:
+            if not state["connected"]:
+                return
+            cid = state["scenario"].client_id
+            _, server_ep = self._endpoints[cid]
+            server_ep.send("probe_ack", 64, payload=message.payload)
+
+        return on_probe
+
+    def _make_probe_ack_handler(self, state):
+        def on_probe_ack(message) -> None:
+            if not state["connected"]:
+                return
+            packet: _ProbePacket = message.payload
+            rtt_ms = (self.clock.now - packet.sent_at) * 1e3
+            controller = self.offload.controller(packet.client_id)
+            controller.observe_rtt(rtt_ms, self.clock.now)
+            self._evaluate_offload(packet.client_id)
+
+        return on_probe_ack
 
     # -------------------------------------------------------------- churn
     def disconnect_client(self, client_id: int) -> None:

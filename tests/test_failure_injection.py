@@ -260,3 +260,105 @@ class TestMergeRobustness:
         # Both clients track fine in their own frames.
         for cid in (0, 1):
             assert result.client_ate(cid).rmse < 0.10
+
+
+class TestOffloadUnderChurn:
+    """Adaptive offloading on hostile links: the handoff machinery must
+    degrade exactly like the rest of the transport — bounded by the
+    cooldown, aborting cleanly on dead links, and never losing the IMU
+    anchor across migrations."""
+
+    def _adaptive_session(self, duration=12.0, shaping=None,
+                          policy="adaptive"):
+        from repro.core import ClientScenario as CS
+        from repro.gpu.device import CpuCostModel
+
+        dataset = euroc_dataset("MH04", duration=duration, rate=10.0)
+        config = SlamShareConfig(camera_fps=10.0, render_video_frames=False)
+        config.serving.offload.policy = policy
+        strong = CpuCostModel(pixel_ns=70.0, pair_ns=40.0,
+                              feature_match_ns=1500.0)
+        return SlamShareSession(
+            [CS(0, dataset, shaping=shaping, device_cpu=strong)], config)
+
+    def test_flapping_link_commits_bounded_by_cooldown(self):
+        """The link flips clean<->terrible every second, far faster than
+        the 2 s cooldown: committed migrations stay bounded by
+        duration/cooldown and the frame ledger stays gap-free."""
+        session = self._adaptive_session(duration=12.0)
+        cooldown = session.config.serving.offload.cooldown_s
+
+        def set_delay(delay_s):
+            link = session._links[0]
+            link.uplink.delay_s = delay_s
+            link.downlink.delay_s = delay_s
+
+        for i in range(12):
+            session.clock.schedule_at(
+                float(i), lambda d=(0.3 if i % 2 == 0 else 0.0): set_delay(d))
+        result = session.run()
+        committed = result.offload.committed_handoffs()
+        assert len(committed) <= 12.0 / cooldown + 1
+        for first, second in zip(committed, committed[1:]):
+            assert (second.committed_at - first.committed_at
+                    >= cooldown - 1e-9)
+        outcome = result.outcomes[0]
+        assert outcome.frames_shed == 0 and outcome.uplink_drops == 0
+        assert (outcome.frames_processed + outcome.frames_superseded
+                + outcome.frames_offline) == outcome.frames_captured
+
+    def test_disconnect_mid_handoff_aborts_cleanly(self):
+        """The client vanishes while the handoff message is in flight on
+        a 300 ms link: the reliable-ARQ drop callback aborts the
+        migration, placement stays put, and the session completes."""
+        from repro.net.tc import PROFILE_DELAY_300MS
+
+        # Static policy: placement is still on the server at t=3.0, so
+        # the manual migration below is the only handoff in play.
+        session = self._adaptive_session(duration=12.0,
+                                         shaping=PROFILE_DELAY_300MS,
+                                         policy="static-server")
+        initiated = []
+        session.clock.schedule_at(
+            3.0,
+            lambda: initiated.append(session.request_handoff(0, "client")))
+        # 300 ms one-way: the handoff is still airborne 50 ms later.
+        session.clock.schedule_at(3.05,
+                                  lambda: session.disconnect_client(0))
+        session.clock.schedule_at(6.0, lambda: session.rejoin_client(0))
+        result = session.run()
+        assert initiated and initiated[0] is not None
+        aborted = [h for h in result.offload.handoffs if h.aborted]
+        assert len(aborted) >= 1
+        assert aborted[0].dst == "client"
+        assert not aborted[0].committed
+        outcome = result.outcomes[0]
+        assert outcome.disconnects == 1 and outcome.rejoins == 1
+
+    def test_handoff_preserves_imu_anchor_across_churn(self):
+        """Disconnect/rejoin, then migrate: the handoff payload carries
+        the IMU anchor so the device-side tracker resumes from the exact
+        timestamp the server-side tracker had integrated to — tracking
+        stays continuous and accurate."""
+        session = self._adaptive_session(duration=14.0,
+                                         policy="static-server")
+        session.clock.schedule_at(4.0, lambda: session.disconnect_client(0))
+        session.clock.schedule_at(6.0, lambda: session.rejoin_client(0))
+        anchors = []
+
+        def migrate():
+            anchors.append(session._per_client[0]["imu_anchor_ts"])
+            session.request_handoff(0, "client")
+
+        session.clock.schedule_at(8.0, migrate)
+        result = session.run()
+        committed = result.offload.committed_handoffs()
+        assert len(committed) == 1
+        record = committed[0]
+        assert record.imu_anchor_ts is not None
+        # The anchor in the payload is the one tracking had reached.
+        assert record.imu_anchor_ts == anchors[0]
+        # Post-rejoin anchor: the offline window was already bridged.
+        assert record.imu_anchor_ts > 4.0
+        assert result.outcomes[0].frames_local > 0
+        assert result.client_ate(0).rmse < 0.15
