@@ -1,0 +1,304 @@
+"""Minimal numpy-compatible namespace adapter over torch.
+
+The routed kernels are written against the numpy API surface; cupy
+implements it directly, torch does not (``dim`` vs ``axis``, no
+``partition``, ``argsort(kind=...)``, boolean-mask semantics for uint8
+indices, ...).  :class:`TorchXp` bridges exactly the operations the
+kernels use — nothing more.  Any gap or behavioural mismatch is caught
+by :func:`repro.backend.dispatch.probe_array_module`, which rejects the
+module and falls back to numpy, so an incomplete mapping degrades to
+slow-but-correct.
+
+This module never imports torch at top level: it is only loaded by
+``_build_torch_module`` after ``import torch`` has already succeeded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+_DTYPE_NAMES = (
+    "float64", "float32", "int64", "int32", "uint8", "bool", "int16",
+)
+
+
+class _TorchLinalg:
+    def __init__(self, torch):
+        self._t = torch
+
+    def solve(self, a, b):
+        return self._t.linalg.solve(a, b)
+
+    def det(self, a):
+        return self._t.linalg.det(a)
+
+    def norm(self, a, axis=None, **kw):
+        if axis is not None:
+            kw["dim"] = axis
+        return self._t.linalg.norm(a, **kw)
+
+    def inv(self, a):
+        return self._t.linalg.inv(a)
+
+
+class TorchXp:
+    """numpy-flavoured facade over a torch module pinned to one device."""
+
+    def __init__(self, torch, device="cuda"):
+        self._t = torch
+        self._device = device
+        self.linalg = _TorchLinalg(torch)
+        for name in _DTYPE_NAMES:
+            setattr(self, name, getattr(torch, name.replace("bool", "bool")))
+        # numpy dtype aliases used by kernels (torch has no uint64 math;
+        # the dispatch layer declares uint8 Hamming layout for torch).
+        self.intp = torch.int64
+        self.pi = float(np.pi)
+
+    # -- plumbing used by ArrayModule ------------------------------------
+    def _to_device(self, array):
+        return self._t.as_tensor(np.ascontiguousarray(array),
+                                 device=self._device)
+
+    def _to_host(self, tensor):
+        return tensor.detach().cpu().numpy()
+
+    def _gather(self, a, idx):
+        if not self._t.is_tensor(idx):
+            idx = self._t.as_tensor(np.asarray(idx), device=self._device)
+        # uint8 index tensors act as boolean masks in torch — always
+        # promote to long so gather means gather.
+        return a[idx.long()]
+
+    def _popcount_u8(self, a):
+        # bit-unpack popcount: 8 shifts on uint8, no LUT gather needed
+        t = self._t
+        a = a.to(t.int32)
+        total = t.zeros_like(a)
+        for shift in range(8):
+            total = total + ((a >> shift) & 1)
+        return total
+
+    def _astype(self, a, dtype):
+        return a.to(self._np_dtype(dtype))
+
+    def _np_dtype(self, dtype):
+        name = np.dtype(dtype).name
+        if name == "uint64":
+            name = "int64"
+        return getattr(self._t, name)
+
+    # -- array constructors ----------------------------------------------
+    def asarray(self, a, dtype=None):
+        t = self._t
+        if t.is_tensor(a):
+            return a if dtype is None else a.to(self._np_dtype(dtype))
+        out = t.as_tensor(np.asarray(a), device=self._device)
+        return out if dtype is None else out.to(self._np_dtype(dtype))
+
+    def zeros(self, shape, dtype=float):
+        return self._t.zeros(self._shape(shape), dtype=self._np_dtype(dtype),
+                             device=self._device)
+
+    def ones(self, shape, dtype=float):
+        return self._t.ones(self._shape(shape), dtype=self._np_dtype(dtype),
+                            device=self._device)
+
+    def full(self, shape, value, dtype=float):
+        return self._t.full(self._shape(shape), value,
+                            dtype=self._np_dtype(dtype), device=self._device)
+
+    def empty(self, shape, dtype=float):
+        return self._t.empty(self._shape(shape), dtype=self._np_dtype(dtype),
+                             device=self._device)
+
+    def arange(self, *args, dtype=None):
+        out = self._t.arange(*args, device=self._device)
+        return out if dtype is None else out.to(self._np_dtype(dtype))
+
+    def eye(self, n, dtype=float):
+        return self._t.eye(n, dtype=self._np_dtype(dtype),
+                           device=self._device)
+
+    def zeros_like(self, a):
+        return self._t.zeros_like(a)
+
+    def ones_like(self, a):
+        return self._t.ones_like(a)
+
+    @staticmethod
+    def _shape(shape):
+        return shape if isinstance(shape, (tuple, list)) else (shape,)
+
+    # -- shape / ordering -------------------------------------------------
+    def atleast_2d(self, a):
+        a = self.asarray(a)
+        return a if a.dim() >= 2 else a.reshape(1, -1)
+
+    def transpose(self, a, axes=None):
+        if axes is None:
+            return a.t() if a.dim() == 2 else a.permute(
+                tuple(reversed(range(a.dim()))))
+        return a.permute(tuple(axes))
+
+    def swapaxes(self, a, ax1, ax2):
+        return a.transpose(ax1, ax2)
+
+    def reshape(self, a, shape):
+        return a.reshape(self._shape(shape))
+
+    def concatenate(self, arrays, axis=0):
+        return self._t.cat(tuple(arrays), dim=axis)
+
+    def stack(self, arrays, axis=0):
+        return self._t.stack(tuple(arrays), dim=axis)
+
+    def broadcast_to(self, a, shape):
+        return a.expand(self._shape(shape))
+
+    def repeat(self, a, repeats, axis=None):
+        if axis is None:
+            return self.asarray(a).flatten().repeat_interleave(
+                self.asarray(repeats))
+        return self.asarray(a).repeat_interleave(self.asarray(repeats),
+                                                 dim=axis)
+
+    def argsort(self, a, kind=None, axis=-1):
+        return self._t.argsort(a, dim=axis, stable=(kind == "stable"))
+
+    def sort(self, a, axis=-1):
+        return self._t.sort(a, dim=axis).values
+
+    def partition(self, a, kth, axis=-1):
+        # numpy.partition contract: element at position kth is in sorted
+        # place, everything before it is <=.  A full sort satisfies it.
+        return self._t.sort(a, dim=axis).values
+
+    def argmin(self, a, axis=None):
+        return self._t.argmin(a, dim=axis)
+
+    def argmax(self, a, axis=None):
+        return self._t.argmax(a, dim=axis)
+
+    def nonzero(self, a):
+        return tuple(self._t.nonzero(a, as_tuple=True))
+
+    def flatnonzero(self, a):
+        return self._t.nonzero(a.flatten(), as_tuple=True)[0]
+
+    def searchsorted(self, a, v, side="left"):
+        return self._t.searchsorted(a, v, right=(side == "right"))
+
+    def unique(self, a):
+        return self._t.unique(a)
+
+    def where(self, cond, x=None, y=None):
+        if x is None:
+            return tuple(self._t.nonzero(cond, as_tuple=True))
+        return self._t.where(cond, self.asarray(x), self.asarray(y))
+
+    # -- reductions / segment ops -----------------------------------------
+    def sum(self, a, axis=None, **kw):
+        return self._t.sum(a) if axis is None else self._t.sum(a, dim=axis)
+
+    def prod(self, a, axis=None):
+        return self._t.prod(a) if axis is None else self._t.prod(a, dim=axis)
+
+    def cumsum(self, a, axis=None):
+        a = self.asarray(a)
+        return self._t.cumsum(a.flatten() if axis is None else a,
+                              dim=0 if axis is None else axis)
+
+    def min(self, a, axis=None):
+        return self._t.min(a) if axis is None else self._t.min(a, dim=axis).values
+
+    def max(self, a, axis=None):
+        return self._t.max(a) if axis is None else self._t.max(a, dim=axis).values
+
+    def minimum(self, a, b):
+        return self._t.minimum(self.asarray(a), self.asarray(b))
+
+    def maximum(self, a, b):
+        return self._t.maximum(self.asarray(a), self.asarray(b))
+
+    def clip(self, a, lo, hi):
+        return self._t.clamp(self.asarray(a), min=lo, max=hi)
+
+    def abs(self, a):
+        return self._t.abs(a)
+
+    def any(self, a, axis=None):
+        return self._t.any(a) if axis is None else self._t.any(a, dim=axis)
+
+    def all(self, a, axis=None):
+        return self._t.all(a) if axis is None else self._t.all(a, dim=axis)
+
+    def count_nonzero(self, a):
+        return self._t.count_nonzero(a)
+
+    def bincount(self, a, weights=None, minlength=0):
+        return self._t.bincount(a, weights=weights, minlength=minlength)
+
+    def einsum(self, eq, *operands):
+        return self._t.einsum(eq, *operands)
+
+    def matmul(self, a, b):
+        return self._t.matmul(a, b)
+
+    def dot(self, a, b):
+        return self._t.matmul(a, b)
+
+    def cross(self, a, b, axis=-1):
+        return self._t.cross(a, b, dim=axis)
+
+    def trace(self, a):
+        return self._t.trace(a)
+
+    # -- elementwise math --------------------------------------------------
+    def sqrt(self, a):
+        return self._t.sqrt(self.asarray(a, dtype=np.float64)
+                            if not self._t.is_tensor(a) else a)
+
+    def sin(self, a):
+        return self._t.sin(a)
+
+    def cos(self, a):
+        return self._t.cos(a)
+
+    def tan(self, a):
+        return self._t.tan(a)
+
+    def arccos(self, a):
+        return self._t.arccos(a)
+
+    def arctan2(self, a, b):
+        return self._t.arctan2(a, b)
+
+    def exp(self, a):
+        return self._t.exp(a)
+
+    def log(self, a):
+        return self._t.log(a)
+
+    def sign(self, a):
+        return self._t.sign(a)
+
+    def floor(self, a):
+        return self._t.floor(a)
+
+    def isfinite(self, a):
+        return self._t.isfinite(a)
+
+    def logical_and(self, a, b):
+        return self._t.logical_and(a, b)
+
+    def logical_or(self, a, b):
+        return self._t.logical_or(a, b)
+
+    def logical_not(self, a):
+        return self._t.logical_not(a)
+
+    def allclose(self, a, b, atol=1e-8, rtol=1e-5):
+        return bool(self._t.allclose(self.asarray(a), self.asarray(b),
+                                     atol=atol, rtol=rtol))

@@ -719,8 +719,17 @@ class SlamShareSession:
                     on_dropped=on_pose_dropped, trace=ctx,
                 )
 
+            # Under backend="gpu" on real hardware the tracker reports a
+            # *measured* device-kernel wall time; the scheduler then
+            # plays that measurement instead of the calibrated model
+            # (which remains the no-hardware simulation path).
             self.scheduler.submit(
-                scenario.client_id, track_s, on_done=finish_frame, trace=ctx
+                scenario.client_id, track_s, on_done=finish_frame, trace=ctx,
+                measured_s=(
+                    result.measured_kernel_ms / 1e3
+                    if result.measured_kernel_ms is not None
+                    else None
+                ),
             )
             self._evaluate_offload(scenario.client_id)
 

@@ -27,6 +27,13 @@ _EPS = 1e-10
 PoseStack = Tuple[np.ndarray, np.ndarray]
 
 
+def _xp_of(am):
+    """Array namespace for an optional device module (numpy default)."""
+    if am is not None and am.is_device:
+        return am.xp
+    return np
+
+
 def pack(poses: Iterable[SE3]) -> PoseStack:
     """Stack SE3 objects into ``(n, 3, 3)`` rotations and ``(n, 3)`` translations."""
     poses = list(poses)
@@ -50,13 +57,20 @@ def identity(n: int) -> PoseStack:
 def compose(
     r_a: np.ndarray, t_a: np.ndarray, r_b: np.ndarray, t_b: np.ndarray
 ) -> PoseStack:
-    """Row-wise ``T_a * T_b`` (apply ``T_b`` first), like :meth:`SE3.compose`."""
+    """Row-wise ``T_a * T_b`` (apply ``T_b`` first), like :meth:`SE3.compose`.
+
+    Pure operator arithmetic — runs unchanged on numpy, cupy, torch or
+    fake device stacks (the ``"gpu"`` tier feeds it device arrays).
+    """
     return r_a @ r_b, (r_a @ t_b[..., None])[..., 0] + t_a
 
 
-def inverse(rotations: np.ndarray, translations: np.ndarray) -> PoseStack:
+def inverse(
+    rotations: np.ndarray, translations: np.ndarray, am=None
+) -> PoseStack:
     """Row-wise pose inverse."""
-    r_inv = np.transpose(rotations, (0, 2, 1))
+    xp = _xp_of(am)
+    r_inv = xp.transpose(rotations, (0, 2, 1))
     return r_inv, -(r_inv @ translations[..., None])[..., 0]
 
 
@@ -67,41 +81,47 @@ def apply(
     return (rotations @ points[..., None])[..., 0] + translations
 
 
-def exp(xi: np.ndarray) -> PoseStack:
-    """Batched :meth:`SE3.exp` over ``(n, 6)`` twists ``(rho, omega)``."""
-    xi = np.atleast_2d(np.asarray(xi, dtype=float))
+def exp(xi: np.ndarray, am=None) -> PoseStack:
+    """Batched :meth:`SE3.exp` over ``(n, 6)`` twists ``(rho, omega)``.
+
+    With a device ``am`` the whole map runs on device-resident stacks;
+    the numpy default is byte-identical to the pre-dispatch kernel.
+    """
+    xp = _xp_of(am)
+    xi = xp.atleast_2d(xp.asarray(xi, dtype=float))
     rho, omega = xi[:, :3], xi[:, 3:]
-    theta = np.linalg.norm(omega, axis=1)
-    rotations = so3.exp_batch(omega)
+    theta = xp.linalg.norm(omega, axis=1)
+    rotations = so3.exp_batch(omega, am=am)
     small = theta < _EPS
-    safe = np.where(small, 1.0, theta)
-    k = so3.hat_batch(omega / safe[:, None])
+    safe = xp.where(small, 1.0, theta)
+    k = so3.hat_batch(omega / safe[:, None], am=am)
     v = (
-        np.eye(3)
-        + ((1.0 - np.cos(theta)) / safe)[:, None, None] * k
-        + ((theta - np.sin(theta)) / safe)[:, None, None] * (k @ k)
+        xp.eye(3)
+        + ((1.0 - xp.cos(theta)) / safe)[:, None, None] * k
+        + ((theta - xp.sin(theta)) / safe)[:, None, None] * (k @ k)
     )
-    if small.any():
-        v[small] = np.eye(3) + 0.5 * so3.hat_batch(omega[small])
+    if bool(xp.any(small)):
+        v[small] = xp.eye(3) + 0.5 * so3.hat_batch(omega[small], am=am)
     return rotations, (v @ rho[..., None])[..., 0]
 
 
-def log(rotations: np.ndarray, translations: np.ndarray) -> np.ndarray:
+def log(rotations: np.ndarray, translations: np.ndarray, am=None) -> np.ndarray:
     """Batched :meth:`SE3.log`: pose stack ``->`` ``(n, 6)`` twists."""
-    omega = so3.log_batch(rotations)
-    theta = np.linalg.norm(omega, axis=1)
+    xp = _xp_of(am)
+    omega = so3.log_batch(rotations, am=am)
+    theta = xp.linalg.norm(omega, axis=1)
     small = theta < _EPS
-    safe = np.where(small, 1.0, theta)
-    k = so3.hat_batch(omega / safe[:, None])
+    safe = xp.where(small, 1.0, theta)
+    k = so3.hat_batch(omega / safe[:, None], am=am)
     half = safe / 2.0
-    cot_half = 1.0 / np.tan(half)
+    cot_half = 1.0 / xp.tan(half)
     v_inv = (
-        np.eye(3)
-        - np.where(small, 0.0, half)[:, None, None] * k
-        + np.where(small, 0.0, 1.0 - half * cot_half)[:, None, None] * (k @ k)
+        xp.eye(3)
+        - xp.where(small, 0.0, half)[:, None, None] * k
+        + xp.where(small, 0.0, 1.0 - half * cot_half)[:, None, None] * (k @ k)
     )
-    if small.any():
-        v_inv[small] = np.eye(3) - 0.5 * so3.hat_batch(omega[small])
-    translations = np.atleast_2d(np.asarray(translations, dtype=float))
+    if bool(xp.any(small)):
+        v_inv[small] = xp.eye(3) - 0.5 * so3.hat_batch(omega[small], am=am)
+    translations = xp.atleast_2d(xp.asarray(translations, dtype=float))
     rho = (v_inv @ translations[..., None])[..., 0]
-    return np.concatenate([rho, omega], axis=1)
+    return xp.concatenate([rho, omega], axis=1)

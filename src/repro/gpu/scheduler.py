@@ -54,6 +54,10 @@ class KernelRecord:
     finished_at: float
     batch_id: int = -1            # -1: solo dispatch
     batch_size: int = 1
+    #: True when the kernel duration came from a *measured* device wall
+    #: time (``backend="gpu"`` on real hardware) rather than the
+    #: calibrated latency model.
+    measured: bool = False
 
     @property
     def queue_delay(self) -> float:
@@ -93,6 +97,7 @@ class _PendingKernel:
     duration: float
     on_done: Optional[callable] = field(default=None, compare=False)
     trace: Optional[TraceContext] = None
+    measured: bool = False
 
 
 class GpuScheduler:
@@ -179,7 +184,8 @@ class GpuScheduler:
 
     def submit(self, client_id: int, duration_full_gpu: float,
                on_done: Optional[callable] = None,
-               trace: Optional[TraceContext] = None) -> Optional[KernelRecord]:
+               trace: Optional[TraceContext] = None,
+               measured_s: Optional[float] = None) -> Optional[KernelRecord]:
         """Submit a kernel that needs ``duration_full_gpu`` seconds at 100%.
 
         Spatial mode: starts immediately; below GPU saturation
@@ -195,11 +201,22 @@ class GpuScheduler:
         ``trace`` joins this kernel to a frame-lifecycle trace: the
         queue wait and the (possibly batched) kernel span are recorded
         against it, with ``batch_id`` in the span attrs.
+
+        ``measured_s`` is a *measured* device-kernel wall time (the
+        ``backend="gpu"`` tier on real hardware).  When given, it
+        replaces ``duration_full_gpu`` — the calibrated model — as the
+        kernel's duration, and the resulting record carries
+        ``measured=True``.  The scheduling policy (sharing slowdown,
+        batching, overheads) still applies on top, so measured kernels
+        contend for the GPU exactly like modeled ones.
         """
         now = self.clock.now
+        measured = measured_s is not None
+        if measured:
+            duration_full_gpu = measured_s
         if self.batching is not None:
             return self._submit_batched(client_id, duration_full_gpu,
-                                        on_done, trace)
+                                        on_done, trace, measured=measured)
         if self.mode == "spatial":
             slowdown = self._slowdown
             start = now
@@ -208,7 +225,8 @@ class GpuScheduler:
             start = max(now, self._busy_until)
             finish = start + duration_full_gpu
             self._busy_until = finish
-        record = KernelRecord(client_id, now, start, finish)
+        record = KernelRecord(client_id, now, start, finish,
+                              measured=measured)
         self._account(record, trace)
         if on_done is not None:
             self.clock.schedule_at(finish, on_done)
@@ -218,11 +236,13 @@ class GpuScheduler:
     def _submit_batched(self, client_id: int, duration: float,
                         on_done: Optional[callable],
                         trace: Optional[TraceContext] = None,
+                        measured: bool = False,
                         ) -> Optional[KernelRecord]:
         b = self.batching
         now = self.clock.now
         if b.window_s <= 0 or b.max_batch <= 1:
-            return self._dispatch_solo(client_id, duration, on_done, trace)
+            return self._dispatch_solo(client_id, duration, on_done, trace,
+                                       measured=measured)
         if b.p99_budget_s is not None:
             # Fall back to an immediate solo dispatch when the GPU will
             # be free before the window closes but waiting it out would
@@ -234,9 +254,10 @@ class GpuScheduler:
                            + duration * self._slowdown)
             solo_est = gpu_free_in + overhead + duration * self._slowdown
             if batched_est > b.p99_budget_s and solo_est < batched_est:
-                return self._dispatch_solo(client_id, duration, on_done, trace)
+                return self._dispatch_solo(client_id, duration, on_done, trace,
+                                           measured=measured)
         self._pending.setdefault(client_id, deque()).append(
-            _PendingKernel(client_id, now, duration, on_done, trace)
+            _PendingKernel(client_id, now, duration, on_done, trace, measured)
         )
         self._n_pending += 1
         if self._flush_event is None:
@@ -245,14 +266,16 @@ class GpuScheduler:
 
     def _dispatch_solo(self, client_id: int, duration: float,
                        on_done: Optional[callable],
-                       trace: Optional[TraceContext] = None) -> KernelRecord:
+                       trace: Optional[TraceContext] = None,
+                       measured: bool = False) -> KernelRecord:
         b = self.batching
         now = self.clock.now
         start = max(now, self._busy_until)
         finish = start + b.dispatch_overhead_s + duration * self._slowdown
         self._busy_until = finish
         self.solo_dispatches += 1
-        record = KernelRecord(client_id, now, start, finish)
+        record = KernelRecord(client_id, now, start, finish,
+                              measured=measured)
         self._account(record, trace)
         if on_done is not None:
             self.clock.schedule_at(finish, on_done)
@@ -294,7 +317,8 @@ class GpuScheduler:
         for item in taken:
             record = KernelRecord(item.client_id, item.submitted_at, start,
                                   finish, batch_id=batch_id,
-                                  batch_size=len(taken))
+                                  batch_size=len(taken),
+                                  measured=item.measured)
             self._account(record, item.trace)
             if item.on_done is not None:
                 self.clock.schedule_at(finish, item.on_done)

@@ -28,11 +28,13 @@ Two equivalent implementations of the intersection step exist:
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..geometry import se3_batch
 from ..obs import get_metrics, get_tracer
 from ..vision.camera import PinholeCamera
@@ -47,9 +49,9 @@ _ba_wall = _metrics.histogram(
 
 #: Default implementation for :func:`local_bundle_adjustment`.  The scalar
 #: path is the reference; flip this (or pass ``backend=``) to fall back.
+#: Valid names come from the central registry in :mod:`repro.backend`
+#: ("scalar", "vectorized", "gpu").
 DEFAULT_BACKEND = "vectorized"
-
-_BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass
@@ -158,19 +160,23 @@ def _collect_observation_arrays(
     )
 
 
-def _segment_sum(values: np.ndarray, seg: np.ndarray, n: int) -> np.ndarray:
+def _segment_sum(
+    values: np.ndarray, seg: np.ndarray, n: int, xp=np
+) -> np.ndarray:
     """Sum ``values`` rows into ``n`` segments, in input order per segment.
 
     ``np.bincount`` accumulates sequentially over its input, so each
     segment's partial sums are formed in exactly the order the rows
     appear — the property that keeps the batched normal equations
-    bit-compatible with the scalar reference loop.
+    bit-compatible with the scalar reference loop.  ``xp`` selects the
+    array namespace (numpy by default; a device namespace under the
+    ``"gpu"`` tier, where the scatter-add runs on device-resident rows).
     """
-    flat = values.reshape(len(values), -1)
-    out = np.empty((n, flat.shape[1]))
+    flat = values.reshape((len(values), -1))
+    out = xp.empty((n, flat.shape[1]))
     for col in range(flat.shape[1]):
-        out[:, col] = np.bincount(seg, weights=flat[:, col], minlength=n)
-    return out.reshape((n,) + values.shape[1:])
+        out[:, col] = xp.bincount(seg, weights=flat[:, col], minlength=n)
+    return out.reshape((n,) + tuple(values.shape[1:]))
 
 
 def _window_pose_stack(slam_map: SlamMap, kf_ids: List[int]):
@@ -268,6 +274,7 @@ def _refine_points_vectorized(
     camera: PinholeCamera,
     obs: _ObsArrays,
     min_observations: int,
+    am=None,
 ) -> None:
     """Batched intersection: all points' normal equations at once.
 
@@ -277,6 +284,12 @@ def _refine_points_vectorized(
     batched ``np.linalg.solve``.  Convergence/failure bookkeeping mirrors
     the scalar loop: a point whose step drops below 1e-10 freezes, a
     point whose system is singular reverts to its original position.
+
+    With a device ``am`` the gathered pose rows, positions and
+    observation arrays are staged to the device **once per call** —
+    all three Gauss-Newton iterations run on device-resident data and
+    only the refined positions (plus the two bookkeeping masks) come
+    back, one download at the end.
     """
     n_points = len(obs.point_ids)
     if n_points == 0 or obs.n_obs == 0:
@@ -293,59 +306,80 @@ def _refine_points_vectorized(
     inv_d = 1.0 / np.maximum(obs.depth, 1e-6)
     frozen = ~active
     failed = np.zeros(n_points, dtype=bool)
-    for _ in range(3):
-        live = ~frozen & ~failed
-        if not live.any():
-            break
-        m = live[obs.seg]
-        seg_m = obs.seg[m]
-        p_cam = se3_batch.apply(rot_g[m], trans_g[m], positions[seg_m])
-        x, y = p_cam[:, 0], p_cam[:, 1]
-        z = np.maximum(p_cam[:, 2], 1e-6)
-        uv_m = obs.uv[m]
-        r = np.stack(
-            [fx * x / z + cx - uv_m[:, 0], fy * y / z + cy - uv_m[:, 1]], axis=1
-        )
-        n_m = len(z)
-        j_proj = np.zeros((n_m, 2, 3))
-        j_proj[:, 0, 0] = fx / z
-        j_proj[:, 0, 2] = -fx * x / (z * z)
-        j_proj[:, 1, 1] = fy / z
-        j_proj[:, 1, 2] = -fy * y / (z * z)
-        j = j_proj @ rot_g[m]
-        h_rows = np.einsum("nki,nkj->nij", j, j)
-        g_rows = np.einsum("nki,nk->ni", j, r)
-        dm = dep_ok[m]
-        if dm.any():
-            # Depth rows are spliced in directly after their reprojection
-            # row so the segment sums accumulate in the scalar loop's
-            # order (reproj_1, depth_1, reproj_2, ...), not grouped.
-            inv_dm = inv_d[m][dm]
-            j_d = (fx * inv_dm)[:, None] * rot_g[m][dm][:, 2, :]
-            r_d = (z[dm] - obs.depth[m][dm]) * fx * inv_dm
-            h_depth = np.einsum("ni,nj->nij", j_d, j_d)
-            g_depth = j_d * r_d[:, None]
-            keys = np.concatenate(
-                [np.arange(n_m) * 2, np.nonzero(dm)[0] * 2 + 1]
+    dev = am is not None and am.is_device
+    xp = am.xp if dev else np
+    if dev:
+        seg = am.to_device(obs.seg, dtype=np.int64)
+        uv = am.to_device(obs.uv, dtype=np.float64)
+        depth = am.to_device(obs.depth, dtype=np.float64)
+        rot_g = am.to_device(rot_g)
+        trans_g = am.to_device(trans_g)
+        positions = am.to_device(positions)
+        dep_ok = am.to_device(dep_ok)
+        inv_d = am.to_device(inv_d)
+        frozen = am.to_device(frozen)
+        failed = am.to_device(failed)
+    else:
+        seg, uv, depth = obs.seg, obs.uv, obs.depth
+    with am.kernel("ba_refine") if dev else _nullcontext():
+        for _ in range(3):
+            live = ~frozen & ~failed
+            if not bool(xp.any(live)):
+                break
+            m = live[seg]
+            seg_m = seg[m]
+            p_cam = se3_batch.apply(rot_g[m], trans_g[m], positions[seg_m])
+            x, y = p_cam[:, 0], p_cam[:, 1]
+            z = xp.maximum(p_cam[:, 2], 1e-6)
+            uv_m = uv[m]
+            r = xp.stack(
+                [fx * x / z + cx - uv_m[:, 0], fy * y / z + cy - uv_m[:, 1]],
+                axis=1,
             )
-            order = np.argsort(keys, kind="stable")
-            h_entries = np.concatenate([h_rows, h_depth])[order]
-            g_entries = np.concatenate([g_rows, g_depth])[order]
-            entry_seg = np.concatenate([seg_m, seg_m[dm]])[order]
-        else:
-            h_entries, g_entries, entry_seg = h_rows, g_rows, seg_m
-        h = _segment_sum(h_entries, entry_seg, n_points)
-        g = _segment_sum(g_entries, entry_seg, n_points)
-        h += 1e-6 * np.eye(3)
-        det = np.linalg.det(h)
-        bad = ~np.isfinite(det) | (det == 0.0)
-        if bad.any():
-            h[bad] = np.eye(3)
-            failed |= bad & live
-        step = np.linalg.solve(h, -g[..., None])[..., 0]
-        update = live & ~bad
-        positions[update] += step[update]
-        frozen |= update & (np.linalg.norm(step, axis=1) < 1e-10)
+            n_m = len(z)
+            j_proj = xp.zeros((n_m, 2, 3))
+            j_proj[:, 0, 0] = fx / z
+            j_proj[:, 0, 2] = -fx * x / (z * z)
+            j_proj[:, 1, 1] = fy / z
+            j_proj[:, 1, 2] = -fy * y / (z * z)
+            j = j_proj @ rot_g[m]
+            h_rows = xp.einsum("nki,nkj->nij", j, j)
+            g_rows = xp.einsum("nki,nk->ni", j, r)
+            dm = dep_ok[m]
+            if bool(xp.any(dm)):
+                # Depth rows are spliced in directly after their
+                # reprojection row so the segment sums accumulate in the
+                # scalar loop's order (reproj_1, depth_1, reproj_2, ...),
+                # not grouped.
+                inv_dm = inv_d[m][dm]
+                j_d = (fx * inv_dm)[:, None] * rot_g[m][dm][:, 2, :]
+                r_d = (z[dm] - depth[m][dm]) * fx * inv_dm
+                h_depth = xp.einsum("ni,nj->nij", j_d, j_d)
+                g_depth = j_d * r_d[:, None]
+                keys = xp.concatenate(
+                    [xp.arange(n_m) * 2, xp.nonzero(dm)[0] * 2 + 1]
+                )
+                order = xp.argsort(keys, kind="stable")
+                h_entries = xp.concatenate([h_rows, h_depth])[order]
+                g_entries = xp.concatenate([g_rows, g_depth])[order]
+                entry_seg = xp.concatenate([seg_m, seg_m[dm]])[order]
+            else:
+                h_entries, g_entries, entry_seg = h_rows, g_rows, seg_m
+            h = _segment_sum(h_entries, entry_seg, n_points, xp=xp)
+            g = _segment_sum(g_entries, entry_seg, n_points, xp=xp)
+            h += 1e-6 * xp.eye(3)
+            det = xp.linalg.det(h)
+            bad = ~xp.isfinite(det) | (det == 0.0)
+            if bool(xp.any(bad)):
+                h[bad] = xp.eye(3)
+                failed = failed | (bad & live)
+            step = xp.linalg.solve(h, -g[..., None])[..., 0]
+            update = live & ~bad
+            positions[update] += step[update]
+            frozen = frozen | (update & (xp.linalg.norm(step, axis=1) < 1e-10))
+    if dev:
+        positions = am.to_host(positions)
+        failed = am.to_host(failed).astype(bool)
     good = active & ~failed & np.isfinite(positions).all(axis=1)
     if good.any():
         slam_map.set_point_positions(obs.point_ids[good], positions[good])
@@ -405,12 +439,14 @@ def local_bundle_adjustment(
 
     ``fixed_keyframe_ids`` are included in the error terms but their
     poses are held constant (the standard local-BA gauge anchor).
-    ``backend`` selects the batched kernels (``"vectorized"``, default)
-    or the reference per-point loops (``"scalar"``).
+    ``backend`` selects the batched kernels (``"vectorized"``, default),
+    the reference per-point loops (``"scalar"``), or the device tier
+    (``"gpu"`` — the vectorized kernels on a cupy/torch device, with an
+    automatic logged fallback to ``"vectorized"`` when none exists).
     """
     backend = backend or DEFAULT_BACKEND
-    if backend not in _BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}")
+    plan = resolve_backend(backend)
+    device_am = plan.array_module if plan.on_device else None
     keyframe_ids = [k for k in keyframe_ids if k in slam_map.keyframes]
     fixed = set(fixed_keyframe_ids or ())
     if not keyframe_ids:
@@ -419,7 +455,7 @@ def local_bundle_adjustment(
     with _tracer.span(
         "local_ba", n_keyframes=len(keyframe_ids), backend=backend
     ):
-        if backend == "vectorized":
+        if plan.kernel in ("vectorized", "gpu"):
             with _tracer.span("ba.collect"):
                 obs = _collect_observation_arrays(slam_map, keyframe_ids)
             n_points = len(obs.point_ids)
@@ -429,7 +465,7 @@ def local_bundle_adjustment(
             for _ in range(iterations):
                 with _tracer.span("ba.intersection"):
                     _refine_points_vectorized(
-                        slam_map, camera, obs, min_observations
+                        slam_map, camera, obs, min_observations, am=device_am
                     )
                 with _tracer.span("ba.resection"):
                     _resect_keyframes(

@@ -26,10 +26,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from types import SimpleNamespace
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..geometry import SE3, se3_batch
 from ..obs import get_metrics, get_tracer
 from .bundle_adjustment import _segment_sum
@@ -37,10 +39,9 @@ from .map import SlamMap
 
 MIN_ESSENTIAL_WEIGHT = 20  # covisibility weight for essential-graph edges
 
-#: Default implementation for :func:`optimize_pose_graph`.
+#: Default implementation for :func:`optimize_pose_graph`.  Valid names
+#: come from the central registry in :mod:`repro.backend`.
 DEFAULT_BACKEND = "vectorized"
-
-_BACKENDS = ("scalar", "vectorized")
 
 _tracer = get_tracer()
 _metrics = get_metrics()
@@ -152,6 +153,27 @@ class _EdgeArrays:
         self.seg[1::2] = self.b_idx
         self.weight2 = np.repeat(self.weight, 2)
 
+    def to_device(self, am) -> SimpleNamespace:
+        """Stage every packed edge array to the device in one batch.
+
+        Returned namespace mirrors this object's fields, so
+        :func:`_sweeps_vectorized` runs unchanged against it; uploading
+        here (once per ``optimize_pose_graph`` call) is what keeps the
+        sweep loop transfer-free.
+        """
+        return SimpleNamespace(
+            n=self.n,
+            a_idx=am.to_device(self.a_idx, dtype=np.int64),
+            b_idx=am.to_device(self.b_idx, dtype=np.int64),
+            rel_rot=am.to_device(self.rel_rot),
+            rel_trans=am.to_device(self.rel_trans),
+            inv_rot=am.to_device(self.inv_rot),
+            inv_trans=am.to_device(self.inv_trans),
+            weight=am.to_device(self.weight),
+            seg=am.to_device(self.seg, dtype=np.int64),
+            weight2=am.to_device(self.weight2),
+        )
+
     def residual(self, rot: np.ndarray, trans: np.ndarray) -> float:
         if self.n == 0:
             return 0.0
@@ -171,34 +193,43 @@ def _sweeps_vectorized(
     free: np.ndarray,
     iterations: int,
     step_scale: float,
+    am=None,
 ) -> None:
-    """Run the relaxation sweeps in place on the packed pose stack."""
+    """Run the relaxation sweeps in place on the packed pose stack.
+
+    All inputs live in the same namespace: host numpy by default, or
+    device arrays when ``am`` is a device module (see
+    :meth:`_EdgeArrays.to_device`) — the sweep loop itself never
+    transfers.
+    """
+    dev = am is not None and am.is_device
+    xp = am.xp if dev else np
     n_nodes = len(rot)
-    if edges.n == 0 or not free.any():
+    if edges.n == 0 or not bool(xp.any(free)):
         return
-    weight_sum = np.bincount(edges.seg, weights=edges.weight2, minlength=n_nodes)
+    weight_sum = xp.bincount(edges.seg, weights=edges.weight2, minlength=n_nodes)
     update = free & (weight_sum > 0)
-    if not update.any():
+    if not bool(xp.any(update)):
         return
-    twists = np.empty((2 * edges.n, 6))
+    twists = xp.empty((2 * edges.n, 6))
     for _ in range(iterations):
         # Node a's prediction from each edge: rel * T_b, and node b's:
         # rel^-1 * T_a; the residual twist is log(predicted * T_node^-1).
         pr, pt = se3_batch.compose(
             edges.rel_rot, edges.rel_trans, rot[edges.b_idx], trans[edges.b_idx]
         )
-        ira, ita = se3_batch.inverse(rot[edges.a_idx], trans[edges.a_idx])
+        ira, ita = se3_batch.inverse(rot[edges.a_idx], trans[edges.a_idx], am=am)
         dra, dta = se3_batch.compose(pr, pt, ira, ita)
         qr, qt = se3_batch.compose(
             edges.inv_rot, edges.inv_trans, rot[edges.a_idx], trans[edges.a_idx]
         )
-        irb, itb = se3_batch.inverse(rot[edges.b_idx], trans[edges.b_idx])
+        irb, itb = se3_batch.inverse(rot[edges.b_idx], trans[edges.b_idx], am=am)
         drb, dtb = se3_batch.compose(qr, qt, irb, itb)
-        twists[0::2] = edges.weight[:, None] * se3_batch.log(dra, dta)
-        twists[1::2] = edges.weight[:, None] * se3_batch.log(drb, dtb)
-        twist_sum = _segment_sum(twists, edges.seg, n_nodes)
+        twists[0::2] = edges.weight[:, None] * se3_batch.log(dra, dta, am=am)
+        twists[1::2] = edges.weight[:, None] * se3_batch.log(drb, dtb, am=am)
+        twist_sum = _segment_sum(twists, edges.seg, n_nodes, xp=xp)
         steps = step_scale * twist_sum[update] / weight_sum[update][:, None]
-        er, et = se3_batch.exp(steps)
+        er, et = se3_batch.exp(steps, am=am)
         nr, nt = se3_batch.compose(er, et, rot[update], trans[update])
         rot[update] = nr
         trans[update] = nt
@@ -255,8 +286,7 @@ def optimize_pose_graph(
     map are skipped and excluded from the reported ``n_edges``.
     """
     backend = backend or DEFAULT_BACKEND
-    if backend not in _BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}")
+    plan = resolve_backend(backend)
     fixed = set(fixed or ())
     poses: Dict[int, SE3] = {
         kf_id: kf.pose_cw for kf_id, kf in slam_map.keyframes.items()
@@ -269,7 +299,7 @@ def optimize_pose_graph(
         "pose_graph", n_edges=len(valid_edges), n_poses=len(poses),
         backend=backend,
     ):
-        if backend == "vectorized":
+        if plan.kernel in ("vectorized", "gpu"):
             node_ids = list(poses)
             index = {kf_id: i for i, kf_id in enumerate(node_ids)}
             rot, trans = se3_batch.pack([poses[k] for k in node_ids])
@@ -281,9 +311,23 @@ def optimize_pose_graph(
             )
             initial = edge_arrays.residual(rot, trans)
             with _tracer.span("pg.sweeps", iterations=iterations):
-                _sweeps_vectorized(
-                    rot, trans, edge_arrays, free, iterations, step_scale
-                )
+                if plan.on_device:
+                    # One staging batch up (poses + packed edges), all
+                    # sweeps on the device, one download back.
+                    am = plan.array_module
+                    rot_d = am.to_device(rot)
+                    trans_d = am.to_device(trans)
+                    with am.kernel("pg_sweeps"):
+                        _sweeps_vectorized(
+                            rot_d, trans_d, edge_arrays.to_device(am),
+                            am.to_device(free), iterations, step_scale, am=am,
+                        )
+                    rot = am.to_host(rot_d)
+                    trans = am.to_host(trans_d)
+                else:
+                    _sweeps_vectorized(
+                        rot, trans, edge_arrays, free, iterations, step_scale
+                    )
             final = edge_arrays.residual(rot, trans)
             with _tracer.span("pg.anchor_correction"):
                 # Per-node correction new^-1 * old, applied to each

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..backend import resolve_backend
 from ..geometry import SE3
 from ..vision.camera import PinholeCamera
 from ..vision.matching import (
@@ -41,12 +42,16 @@ class _LocalMapPack:
     holds, so the narrow, wide-retry and refine searches of one frame —
     and every following frame until the map changes — skip the
     covisibility walk, the point gathering and the matrix packing.
+    Under the ``"gpu"`` tier the packed descriptors are also staged to
+    the device once per key (``descriptors_dev``), so repeated frames
+    tracked against one map version never re-upload the local map.
     """
 
     key: tuple
     points: List
     positions: np.ndarray       # (n, 3) world positions
     descriptors: np.ndarray     # (n, 32) packed descriptors
+    descriptors_dev: object = None   # staged device block (gpu tier only)
 
 
 @dataclass
@@ -59,6 +64,10 @@ class TrackingWorkload:
     candidate_pairs: int = 0        # point x feature pairs evaluated
     pnp_iterations: int = 0
     n_matches: int = 0
+    #: Measured device-kernel wall time for this frame's search work, or
+    #: ``None`` when tracking ran on the host (then latency is modeled
+    #: by :class:`repro.gpu.TrackingLatencyModel` as before).
+    measured_kernel_ms: Optional[float] = None
 
 
 @dataclass
@@ -89,13 +98,18 @@ class Tracker:
         camera: PinholeCamera,
         config: Optional[TrackerConfig] = None,
         backend: str = "vectorized",
+        array_module=None,
     ) -> None:
         self.map = slam_map
         self.camera = camera
         self.config = config or TrackerConfig()
-        if backend not in ("scalar", "vectorized"):
-            raise ValueError(f"unknown backend {backend!r}")
+        # Central registry validation; "gpu" resolves to a device array
+        # module when one exists (or the injected test module), else
+        # degrades to the vectorized numpy kernels with a logged warning.
+        plan = resolve_backend(backend, array_module=array_module)
         self.backend = backend
+        self._kernel = plan.kernel
+        self._am = plan.array_module if plan.on_device else None
         self.last_pose: Optional[SE3] = None
         self.velocity: SE3 = SE3.identity()
         self.reference_keyframe_id: Optional[int] = None
@@ -143,7 +157,16 @@ class Tracker:
         else:
             positions = np.zeros((0, 3))
             descriptors = np.zeros((0, 0), dtype=np.uint8)
-        self._local_pack = _LocalMapPack(key, points, positions, descriptors)
+        descriptors_dev = None
+        if self._am is not None and descriptors.size:
+            # One host->device staging per (reference kf, map version):
+            # every frame tracked against this pack reuses the upload.
+            from ..backend.kernels import stage_descriptors
+
+            descriptors_dev = stage_descriptors(self._am, descriptors)
+        self._local_pack = _LocalMapPack(
+            key, points, positions, descriptors, descriptors_dev
+        )
         return self._local_pack
 
     def _project(self, pack: _LocalMapPack, pose: SE3):
@@ -159,22 +182,29 @@ class Tracker:
         projection,
         radius: float,
         grid: Optional[FrameGrid] = None,
+        frame_desc_dev=None,
     ):
         """Match projected local points against frame features.
 
         ``projection`` is the ``(proj_uv, visible_idx)`` pair from
         :meth:`_project` — computed once per pose and shared by the
         narrow and wide-retry searches; ``grid`` is the frame's spatial
-        index, built once per frame and shared by all three searches.
+        index, built once per frame and shared by all three searches;
+        ``frame_desc_dev`` is the frame's staged descriptor block under
+        the gpu tier, uploaded once per :meth:`track` call.
         """
         proj_uv, visible_idx = projection
         if len(visible_idx) == 0:
             return [], 0
         descriptors = pack.descriptors[visible_idx]
-        if self.backend == "vectorized":
+        if self._kernel != "scalar":
             matches = search_by_projection_vectorized(
                 proj_uv, descriptors, frame.uv, frame.descriptors,
                 radius=radius, grid=grid,
+                am=self._am,
+                point_desc_dev=pack.descriptors_dev,
+                point_rows=visible_idx,
+                frame_desc_dev=frame_desc_dev,
             )
         else:
             matches = search_by_projection_scalar(
@@ -204,22 +234,35 @@ class Tracker:
 
         grid = (
             FrameGrid(frame.uv)
-            if self.backend == "vectorized" and len(frame) > 0
+            if self._kernel != "scalar" and len(frame) > 0
             else None
         )
+        frame_desc_dev = None
+        kernel_mark = 0
+        if self._am is not None:
+            # One frame-descriptor upload shared by the narrow,
+            # wide-retry and refine searches of this frame.
+            from ..backend.kernels import stage_descriptors
+
+            if frame.descriptors is not None and len(frame.descriptors):
+                frame_desc_dev = stage_descriptors(self._am, frame.descriptors)
+            kernel_mark = len(self._am.kernel_timings)
         prior_projection = self._project(pack, prior)
         matches, pairs = self._search(
-            pack, frame, prior_projection, cfg.search_radius_px, grid
+            pack, frame, prior_projection, cfg.search_radius_px, grid,
+            frame_desc_dev,
         )
         workload.candidate_pairs += pairs
         if len(matches) < cfg.min_matches:
             # Wide-window retry: the prior may be poor (high RTT, fast
             # turn).  Same pose, so the projection is reused as-is.
             matches, pairs = self._search(
-                pack, frame, prior_projection, cfg.wide_search_radius_px, grid
+                pack, frame, prior_projection, cfg.wide_search_radius_px, grid,
+                frame_desc_dev,
             )
             workload.candidate_pairs += pairs
         if len(matches) < 4:
+            workload.measured_kernel_ms = self._measured_ms(kernel_mark)
             return TrackingResult(frame, False, len(matches), float("inf"), workload)
 
         q_idx = np.array([m.query_idx for m in matches], dtype=np.intp)
@@ -237,7 +280,7 @@ class Tracker:
             # within a few tens of frames.
             matches2, pairs2 = self._search(
                 pack, frame, self._project(pack, result.pose_cw),
-                cfg.search_radius_px * 0.8, grid,
+                cfg.search_radius_px * 0.8, grid, frame_desc_dev,
             )
             workload.candidate_pairs += pairs2
             if len(matches2) >= 4:
@@ -251,6 +294,7 @@ class Tracker:
                     pts_w, uv, self.camera, result.pose_cw, depths=depths
                 )
         workload.pnp_iterations = result.iterations
+        workload.measured_kernel_ms = self._measured_ms(kernel_mark)
         if result.n_inliers < cfg.min_matches:
             return TrackingResult(
                 frame, False, result.n_inliers, result.mean_error_px, workload
@@ -268,6 +312,18 @@ class Tracker:
         return TrackingResult(
             frame, True, result.n_inliers, result.mean_error_px, workload
         )
+
+    def _measured_ms(self, mark: int) -> Optional[float]:
+        """Drain this track() call's device-kernel timings into one total.
+
+        Returns ``None`` on the host path, so downstream latency
+        accounting falls back to the calibrated model.
+        """
+        if self._am is None:
+            return None
+        timings = self._am.kernel_timings[mark:]
+        del self._am.kernel_timings[mark:]
+        return 1e3 * sum(t.wall_s for t in timings)
 
     def force_pose(self, pose: SE3) -> None:
         """Seed the motion model (bootstrap or after relocalization)."""

@@ -130,7 +130,9 @@ def _hamming_matrix_bitdot(set_a: np.ndarray, set_b: np.ndarray) -> np.ndarray:
     return pop_a[:, None] + pop_b[None, :] - 2 * cross
 
 
-def hamming_distance_matrix(set_a: np.ndarray, set_b: np.ndarray) -> np.ndarray:
+def hamming_distance_matrix(
+    set_a: np.ndarray, set_b: np.ndarray, am=None
+) -> np.ndarray:
     """All-pairs Hamming distances between two descriptor stacks.
 
     ``set_a`` is ``(m, 32)`` and ``set_b`` is ``(n, 32)``; the result is
@@ -139,9 +141,22 @@ def hamming_distance_matrix(set_a: np.ndarray, set_b: np.ndarray) -> np.ndarray:
     uint64 words and uses the native popcount ufunc (an 8x smaller
     intermediate than the byte-LUT tensor); tests assert bit-exact
     equivalence with :func:`hamming_distance_matrix_lut`.
+
+    Passing a device ``am`` (:class:`repro.backend.ArrayModule`) runs
+    the same XOR+popcount on the device and downloads the result; hot
+    paths that reuse descriptor blocks should stage once and call
+    :mod:`repro.backend.kernels` directly instead.
     """
     set_a = np.atleast_2d(set_a)
     set_b = np.atleast_2d(set_b)
+    if am is not None and am.is_device and set_a.size and set_b.size:
+        from ..backend import kernels as _bk
+
+        a_dev = _bk.stage_descriptors(am, set_a)
+        b_dev = _bk.stage_descriptors(am, set_b)
+        return am.to_host(_bk.hamming_matrix_device(am, a_dev, b_dev)).astype(
+            np.int32
+        )
     if (
         set_a.shape[1] != set_b.shape[1]
         or set_a.shape[1] % 8 != 0
@@ -165,17 +180,35 @@ def hamming_distance_pairs(
     set_b: np.ndarray,
     idx_a: np.ndarray,
     idx_b: np.ndarray,
+    am=None,
+    set_a_dev=None,
+    set_b_dev=None,
 ) -> np.ndarray:
     """Hamming distances for explicit index pairs ``(idx_a[i], idx_b[i])``.
 
     The sparse companion of :func:`hamming_distance_matrix`: after
     spatial pruning only the surviving candidate pairs pay for popcount
     work, so cost scales with pairs rather than ``m * n``.
+
+    With a device ``am``, gather + XOR + popcount run on the device;
+    ``set_a_dev`` / ``set_b_dev`` are optional pre-staged descriptor
+    blocks (see :func:`repro.backend.kernels.stage_descriptors`) so
+    repeated searches over the same blocks pay staging once.
     """
     set_a = np.atleast_2d(set_a)
     set_b = np.atleast_2d(set_b)
     if len(idx_a) == 0:
         return np.zeros(0, dtype=np.int32)
+    if am is not None and am.is_device:
+        from ..backend import kernels as _bk
+
+        if set_a_dev is None:
+            set_a_dev = _bk.stage_descriptors(am, set_a)
+        if set_b_dev is None:
+            set_b_dev = _bk.stage_descriptors(am, set_b)
+        return _bk.gather_pairs_distance_device(
+            am, set_a_dev, set_b_dev, idx_a, idx_b
+        ).astype(np.int32)
     if (
         _HAS_BITWISE_COUNT
         and set_a.shape[1] == set_b.shape[1]

@@ -45,22 +45,57 @@ def match_descriptors(
     max_distance: int = DEFAULT_MATCH_THRESHOLD,
     ratio: float = DEFAULT_RATIO,
     cross_check: bool = True,
+    am=None,
 ) -> List[Match]:
-    """Brute-force Hamming matching with Lowe ratio and cross check."""
+    """Brute-force Hamming matching with Lowe ratio and cross check.
+
+    With a device ``am`` the distance matrix is built and reduced
+    (argmin / partition / reverse argmin) on the device; only ``O(m+n)``
+    reduction vectors are downloaded, never the ``(m, n)`` matrix.
+    Output is identical to the numpy path (tests assert exactness).
+    """
     if len(query) == 0 or len(train) == 0:
         return []
-    distances = hamming_distance_matrix(query, train)
     qi_all = np.arange(len(query))
-    best = distances.argmin(axis=1)
-    best_dist = distances[qi_all, best]
+    if am is not None and am.is_device:
+        from ..backend import kernels as _bk
+
+        xp = am.xp
+        q_dev = _bk.stage_descriptors(am, np.atleast_2d(query))
+        t_dev = _bk.stage_descriptors(am, np.atleast_2d(train))
+        dist = _bk.hamming_matrix_device(am, q_dev, t_dev)
+        with am.kernel("match_reduce"):
+            best_d = xp.argmin(dist, axis=1)
+            best_dist_d = xp.min(dist, axis=1)
+            second_d = (
+                xp.partition(dist, 1, axis=1)[:, 1] if len(train) > 1 else None
+            )
+            reverse_d = xp.argmin(dist, axis=0) if cross_check else None
+        best = am.to_host(best_d).astype(np.intp)
+        best_dist = am.to_host(best_dist_d).astype(np.int64)
+        second = (
+            am.to_host(second_d).astype(np.int64)
+            if second_d is not None else None
+        )
+        reverse_best = (
+            am.to_host(reverse_d).astype(np.intp)
+            if reverse_d is not None else None
+        )
+    else:
+        distances = hamming_distance_matrix(query, train)
+        best = distances.argmin(axis=1)
+        best_dist = distances[qi_all, best]
+        second = (
+            np.partition(distances, 1, axis=1)[:, 1]
+            if len(train) > 1 else None
+        )
+        reverse_best = distances.argmin(axis=0) if cross_check else None
     keep = best_dist <= max_distance
-    if len(train) > 1:
+    if second is not None:
         # Second-smallest per row in one partition (ties with the best
         # value keep the same semantics as masking the best column).
-        second = np.partition(distances, 1, axis=1)[:, 1]
         keep &= ~((second > 0) & (best_dist > ratio * second))
     if cross_check:
-        reverse_best = distances.argmin(axis=0)
         keep &= reverse_best[best] == qi_all
     return [
         Match(int(qi), int(best[qi]), int(best_dist[qi]))
@@ -248,6 +283,10 @@ def search_by_projection_vectorized(
     radius: float = 8.0,
     max_distance: int = DEFAULT_MATCH_THRESHOLD,
     grid: Optional[FrameGrid] = None,
+    am=None,
+    point_desc_dev=None,
+    frame_desc_dev=None,
+    point_rows=None,
 ) -> List[Match]:
     """Data-parallel search-local-points (the GPU kernel formulation).
 
@@ -258,6 +297,16 @@ def search_by_projection_vectorized(
     :func:`search_by_projection_scalar` (tests assert this).  Pass a
     prebuilt ``grid`` to amortize binning across repeated searches of
     one frame.
+
+    With a device ``am`` the pair-sparse Hamming work runs on the
+    device; ``point_desc_dev`` / ``frame_desc_dev`` are optional
+    pre-staged descriptor blocks so the tracker pays one upload per
+    local-map pack and one per frame, shared across the narrow /
+    wide-retry / refine searches (grid pruning and greedy assignment
+    stay on the host — they are index bookkeeping, not FLOPs).  When
+    ``point_desc_dev`` holds a superset of ``point_descriptors`` (the
+    tracker stages the full local-map pack once), ``point_rows[i]``
+    gives the staged-block row of point row ``i``.
     """
     n_points = len(projected_uv)
     n_feats = len(frame_uv)
@@ -276,8 +325,20 @@ def search_by_projection_vectorized(
     pair_feat = pair_feat[within]
     if len(pair_point) == 0:
         return []
+    idx_a = pair_point
+    on_device = am is not None and am.is_device
+    if on_device and point_rows is not None and point_desc_dev is not None:
+        # The staged block covers the whole local-map pack; translate
+        # subset rows to staged-block rows before the device gather.
+        idx_a = np.asarray(point_rows, dtype=np.intp)[pair_point]
     dist = hamming_distance_pairs(
-        point_descriptors, frame_descriptors, pair_point, pair_feat
+        point_descriptors,
+        frame_descriptors,
+        idx_a,
+        pair_feat,
+        am=am,
+        set_a_dev=point_desc_dev,
+        set_b_dev=frame_desc_dev,
     )
     close = dist <= max_distance
     return _greedy_assign(

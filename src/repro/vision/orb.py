@@ -60,9 +60,13 @@ class OrbExtractor:
         self, config: Optional[OrbExtractorConfig] = None, backend: str = "vectorized"
     ) -> None:
         self.config = config or OrbExtractorConfig()
-        if backend not in ("scalar", "vectorized"):
-            raise ValueError(f"unknown backend {backend!r}")
-        self.backend = backend
+        # FAST detection is branch-heavy pixel scanning with no device
+        # formulation yet, so only the two host tiers are allowed here.
+        from ..backend import validate_backend
+
+        self.backend = validate_backend(
+            backend, allowed=("scalar", "vectorized")
+        )
 
     def _detect(self, pixels: np.ndarray, threshold: int) -> List[Keypoint]:
         if self.backend == "scalar":

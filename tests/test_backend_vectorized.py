@@ -249,10 +249,12 @@ class TestBundleAdjustmentEquivalence:
         _assert_maps_equal(map_s, map_v)
 
     def test_unknown_backend_rejected(self):
+        # "gpu" is a registered tier since the dispatch layer landed;
+        # a truly unknown name must still raise from the registry.
         slam_map, cam = _noisy_scene(seed=8, n_kfs=2, n_points=20)
         with pytest.raises(ValueError, match="unknown backend"):
             local_bundle_adjustment(
-                slam_map, cam, list(slam_map.keyframes), backend="gpu"
+                slam_map, cam, list(slam_map.keyframes), backend="neural"
             )
 
 
